@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+corresponding :mod:`repro.experiments` module and records its wall-clock time
+with pytest-benchmark.  The synthetic school cohorts are run at a reduced but
+still representative scale (20,000 students per year by default) so the whole
+suite completes in a few minutes; set ``REPRO_BENCH_STUDENTS`` to run at the
+paper's full 80,000-student scale.
+
+Each benchmark also asserts the *shape* of the paper's finding (who wins, the
+direction of the effect), so a timing regression and a behaviour regression
+both fail the suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Cohort size used by the school benchmarks.
+BENCH_STUDENTS = int(os.environ.get("REPRO_BENCH_STUDENTS", "20000"))
+
+#: Selection-fraction sweep used by the figure benchmarks (coarser than the
+#: paper's plots to keep runtimes manageable; override per-benchmark if needed).
+BENCH_K_SWEEP = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+@pytest.fixture(scope="session")
+def bench_students() -> int:
+    return BENCH_STUDENTS
+
+
+@pytest.fixture(scope="session")
+def bench_k_sweep():
+    return BENCH_K_SWEEP
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result.
+
+    The experiment runs are seconds-long, so a single round gives a stable
+    enough number without multiplying the suite's runtime.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,17 @@
+"""Benchmark: §VI-C4 — exposure-based demographic disparity (DDP) before/after DCA."""
+
+from __future__ import annotations
+
+from repro.experiments import exposure_ddp
+
+from conftest import run_once
+
+
+def test_exposure_ddp_reduction(benchmark, bench_students):
+    result = run_once(benchmark, exposure_ddp.run, num_students=bench_students)
+    rows = result.table("DDP before/after")
+    before, after, factor = rows[0]["ddp"], rows[1]["ddp"], rows[2]["ddp"]
+    # Paper shape: DDP drops several fold (5.4x in the paper: 0.00899 → 0.00166).
+    assert after < before
+    assert factor > 2.0
+    print("\n" + result.format())

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 1 — nDCG@k on the school test cohort for varying k."""
+
+from __future__ import annotations
+
+from repro.experiments import fig1_ndcg
+
+from conftest import run_once
+
+
+def test_fig1_ndcg_curve(benchmark, bench_students, bench_k_sweep):
+    result = run_once(
+        benchmark, fig1_ndcg.run, num_students=bench_students, k_values=bench_k_sweep
+    )
+    rows = result.table("fig 1: nDCG@k")
+    assert len(rows) == len(bench_k_sweep)
+    # Paper shape: utility stays high (≈0.957 at k=5%, above 0.9 everywhere).
+    assert all(row["ndcg"] > 0.85 for row in rows)
+    assert rows[0]["ndcg"] > 0.9
+    print("\n" + result.format())

@@ -1,0 +1,40 @@
+"""Benchmark: Figure 10 — COMPAS disparity, false positive rates, and log-discount mode."""
+
+from __future__ import annotations
+
+from repro.datasets import race_attribute_name
+from repro.experiments import fig10_compas
+
+from conftest import run_once
+
+
+def test_fig10_compas(benchmark, bench_k_sweep):
+    result = run_once(benchmark, fig10_compas.run, k_values=bench_k_sweep)
+
+    baseline = {row["k"]: row for row in result.table("baseline disparity")}
+    per_k = {row["k"]: row for row in result.table("fig 10a: disparity with per-k bonuses")}
+    log_mode = {
+        row["k"]: row
+        for row in result.table("fig 10c: disparity with one log-discounted bonus vector")
+    }
+    aa = race_attribute_name("African-American")
+    white = race_attribute_name("Caucasian")
+
+    # Paper shape (10a): the baseline is strongly negative for African-American
+    # defendants and positive for Caucasian defendants; per-k bonuses shrink it.
+    for k in baseline:
+        assert baseline[k][aa] < -0.05
+        assert baseline[k][white] > 0.05
+        assert per_k[k]["norm"] < baseline[k]["norm"]
+    # (10c): one log-discounted vector still helps at most k despite the coarse deciles.
+    improved = sum(1 for k in baseline if log_mode[k]["norm"] < baseline[k]["norm"])
+    assert improved >= len(baseline) - 1
+
+    # (10b): the FPR of the most over-flagged group moves toward the others.
+    fpr_before = {row["k"]: row for row in result.table("fig 10b baseline: per-race FPR without bonuses")}
+    fpr_after = {row["k"]: row for row in result.table("fig 10b: per-race FPR with FPR-driven bonuses")}
+    k_mid = sorted(fpr_before)[len(fpr_before) // 2]
+    gap_before = abs(fpr_before[k_mid][aa] - fpr_before[k_mid][white])
+    gap_after = abs(fpr_after[k_mid][aa] - fpr_after[k_mid][white])
+    assert gap_after <= gap_before + 0.02
+    print("\n" + result.format())

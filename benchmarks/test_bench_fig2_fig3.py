@@ -1,0 +1,26 @@
+"""Benchmark: Figures 2 and 3 — bonus-proportion vs nDCG and per-attribute disparity."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_fig3_proportion
+
+from conftest import run_once
+
+
+def test_fig2_fig3_proportion_tradeoff(benchmark, bench_students):
+    result = run_once(benchmark, fig2_fig3_proportion.run, num_students=bench_students)
+
+    fig2 = result.table("fig 2: nDCG and disparity norm vs proportion")
+    # Paper shape: disparity norm decreases (near linearly) with the applied
+    # proportion while nDCG degrades only slightly and stays above ~0.95.
+    assert fig2[0]["proportion"] == 0.0 and fig2[-1]["proportion"] == 1.0
+    assert fig2[-1]["disparity_norm"] < fig2[0]["disparity_norm"] / 3
+    assert fig2[0]["ndcg"] >= fig2[-1]["ndcg"] > 0.9
+    halfway = min(fig2, key=lambda row: abs(row["proportion"] - 0.5))
+    assert halfway["disparity_norm"] < fig2[0]["disparity_norm"]
+
+    fig3 = result.table("fig 3: per-attribute disparity vs proportion")
+    # Each attribute's disparity moves from clearly negative toward zero.
+    assert fig3[0]["low_income"] < -0.1
+    assert abs(fig3[-1]["low_income"]) < 0.1
+    print("\n" + result.format())

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 4 — disparity vs k under per-k, fixed-k, and log-discounted bonuses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig4_vary_k
+
+from conftest import run_once
+
+
+def test_fig4_three_bonus_regimes(benchmark, bench_students, bench_k_sweep):
+    result = run_once(
+        benchmark,
+        fig4_vary_k.run,
+        num_students=bench_students,
+        k_values=bench_k_sweep,
+        assumed_k=0.05,
+    )
+    baseline = {row["k"]: row["norm"] for row in result.table("baseline (no bonus)")}
+    per_k = {row["k"]: row["norm"] for row in result.table("fig 4a: k known in advance")}
+    fixed = {row["k"]: row["norm"] for row in result.table("fig 4b: bonus optimized for k=5%")}
+    discounted = {row["k"]: row["norm"] for row in result.table("fig 4c: log-discounted bonus")}
+
+    # (a) per-k optimization essentially eliminates disparity at every k.
+    assert all(per_k[k] < baseline[k] / 3 for k in baseline)
+    # (b) the fixed-k vector is excellent at the assumed k…
+    assert fixed[0.05] < baseline[0.05] / 3
+    # (c) the log-discounted vector is a good compromise: better than baseline
+    # everywhere and better than the fixed-k vector on average away from 5%.
+    assert all(discounted[k] < baseline[k] for k in baseline)
+    far_ks = [k for k in baseline if k >= 0.3]
+    assert np.mean([discounted[k] for k in far_ks]) <= np.mean([fixed[k] for k in far_ks]) + 0.05
+    print("\n" + result.format())

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 5 — log-discounted disparity under maximum-bonus caps."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_caps
+
+from conftest import run_once
+
+
+def test_fig5_bonus_caps(benchmark, bench_students):
+    result = run_once(
+        benchmark,
+        fig5_caps.run,
+        num_students=bench_students,
+        caps=(0.0, 2.0, 5.0, 10.0, 20.0),
+        max_k=0.5,
+    )
+    rows = result.table("fig 5: discounted disparity vs max bonus")
+    norms = [row["norm"] for row in rows]
+    # Paper shape: a cap of zero leaves the baseline disparity; larger caps
+    # steadily reduce it toward the unconstrained optimum.
+    assert norms[0] > norms[-1]
+    assert norms[-1] < norms[0] / 2
+    assert rows[0]["max_bonus"] == 0.0 and rows[-1]["max_bonus"] == 20.0
+    print("\n" + result.format())

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 6 — disparity of a single-quota set-aside system."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_quota, table1
+
+from conftest import run_once
+
+
+def test_fig6_quota_system(benchmark, bench_students, bench_k_sweep):
+    result = run_once(
+        benchmark, fig6_quota.run, num_students=bench_students, k_values=bench_k_sweep
+    )
+    rows = result.table("fig 6: quota-system disparity")
+
+    # Paper shape: the quota reduces disparity relative to the raw rubric but
+    # does not reach DCA's near-zero result (compare Figure 4a / Table I).
+    reference = table1.run(num_students=bench_students)
+    baseline_norm = reference.table("baseline disparity")[1]["norm"]
+    dca_norm = reference.table("DCA (with refinement)")[2]["norm"]
+    quota_at_5 = next(row for row in rows if abs(row["k"] - 0.05) < 1e-9)
+    assert quota_at_5["norm"] < baseline_norm
+    assert dca_norm < quota_at_5["norm"]
+    # The quota targets low-income students, so that dimension improves most;
+    # special-ed remains clearly under-represented.
+    assert abs(quota_at_5["low_income"]) < 0.1
+    assert quota_at_5["special_ed"] < -0.05
+    print("\n" + result.format())

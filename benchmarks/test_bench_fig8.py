@@ -1,0 +1,34 @@
+"""Benchmark: Figure 8 — effect and runtime of the DCA refinement step."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig8_refinement
+
+from conftest import run_once
+
+
+def test_fig8_refinement_effect_and_runtime(benchmark, bench_students, bench_k_sweep):
+    result = run_once(
+        benchmark,
+        fig8_refinement.run,
+        num_students=bench_students,
+        k_values=bench_k_sweep,
+    )
+    disparity_rows = result.table("fig 8a: disparity with and without refinement")
+    unrefined = [row["norm"] for row in disparity_rows if row["series"].startswith("Core")]
+    refined = [row["norm"] for row in disparity_rows if row["series"].startswith("DCA")]
+    # Paper shape: the refinement step improves the residual disparity (about
+    # threefold in the paper) and smooths the curve.
+    assert np.mean(refined) < np.mean(unrefined)
+    assert max(refined) <= max(unrefined) + 0.02
+
+    timings = result.table("fig 8b: runtime with and without refinement")
+    # The refined run does strictly more work than the unrefined one, and the
+    # smallest k needs the largest sample (max(1/k, 1/r) rule).
+    assert all(row["refined_seconds"] >= row["unrefined_seconds"] * 0.8 for row in timings)
+    smallest_k = min(timings, key=lambda row: row["k"])
+    largest_k = max(timings, key=lambda row: row["k"])
+    assert smallest_k["sample_size"] >= largest_k["sample_size"]
+    print("\n" + result.format())

@@ -1,0 +1,27 @@
+"""Benchmark: Table I — school-data disparity before/after DCA bonus points."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+from conftest import run_once
+
+
+def test_table1_disparity_before_and_after(benchmark, bench_students):
+    result = run_once(benchmark, table1.run, num_students=bench_students)
+
+    baseline = result.table("baseline disparity")
+    core = result.table("Core DCA")
+    refined = result.table("DCA (with refinement)")
+
+    # Paper shape: baseline norm ≈ 0.37 on both years; Core DCA cuts it by
+    # several fold; the refinement step improves on Core DCA again.
+    for row in baseline:
+        assert 0.25 < row["norm"] < 0.5
+        for attribute in ("low_income", "ell", "eni", "special_ed"):
+            assert row[attribute] < 0  # every group under-represented at baseline
+    assert core[1]["norm"] < baseline[0]["norm"] / 2
+    assert refined[1]["norm"] < baseline[0]["norm"] / 5
+    assert refined[2]["norm"] < baseline[1]["norm"] / 5  # generalizes to the test year
+
+    print("\n" + result.format())

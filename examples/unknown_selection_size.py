@@ -1,0 +1,75 @@
+"""Choosing bonus points when the selection size is unknown.
+
+Schools in a matching market do not know how far down their ranked list they
+will admit.  This example contrasts the three strategies of Figure 4:
+
+1. optimize for one assumed k (great at that k, worse elsewhere),
+2. optimize the log-discounted disparity over all k (good everywhere),
+3. re-optimize per k once k is revealed (best possible, needs the true k).
+
+Run with::
+
+    python examples/unknown_selection_size.py
+"""
+
+from __future__ import annotations
+
+from repro import DCA, DCAConfig, DisparityCalculator
+from repro.core import LogDiscountedDisparityObjective
+from repro.datasets import (
+    SCHOOL_FAIRNESS_ATTRIBUTES,
+    load_school_cohorts,
+    school_admission_rubric,
+)
+
+K_VALUES = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def main() -> None:
+    train, test = load_school_cohorts(num_students=20_000)
+    rubric = school_admission_rubric()
+    config = DCAConfig(seed=13)
+    calculator = DisparityCalculator(SCHOOL_FAIRNESS_ATTRIBUTES).fit(test.table)
+    base_scores = rubric.scores(test.table)
+
+    # Strategy 1: assume the school will take 5%.
+    assume_5 = DCA(SCHOOL_FAIRNESS_ATTRIBUTES, rubric, k=0.05, config=config).fit(train.table)
+    scores_5 = assume_5.bonus.apply(test.table, base_scores)
+
+    # Strategy 2: log-discounted over the whole top half of the ranking.
+    discounted = DCA(
+        SCHOOL_FAIRNESS_ATTRIBUTES,
+        rubric,
+        k=0.5,
+        objective=LogDiscountedDisparityObjective(SCHOOL_FAIRNESS_ATTRIBUTES),
+        config=config,
+    ).fit(train.table)
+    scores_discounted = discounted.bonus.apply(test.table, base_scores)
+
+    print("Bonus vector assuming k=5%:      ", assume_5.as_dict())
+    print("Bonus vector, log-discounted:    ", discounted.as_dict())
+
+    header = f"{'k':>5} | {'baseline':>9} | {'assume 5%':>9} | {'log-disc':>9} | {'refit per k':>11}"
+    print("\nDisparity norm on the test cohort:")
+    print(header)
+    print("-" * len(header))
+    for k in K_VALUES:
+        refit = DCA(SCHOOL_FAIRNESS_ATTRIBUTES, rubric, k=k, config=config).fit(train.table)
+        scores_refit = refit.bonus.apply(test.table, base_scores)
+        print(
+            f"{k:>5.2f} | "
+            f"{calculator.disparity(test.table, base_scores, k).norm:>9.3f} | "
+            f"{calculator.disparity(test.table, scores_5, k).norm:>9.3f} | "
+            f"{calculator.disparity(test.table, scores_discounted, k).norm:>9.3f} | "
+            f"{calculator.disparity(test.table, scores_refit, k).norm:>11.3f}"
+        )
+
+    print(
+        "\nThe assumed-k vector is excellent at 5% but drifts at larger k; the log-discounted "
+        "vector is a good compromise everywhere; refitting once k is known is best but "
+        "requires information a matching market does not provide in advance."
+    )
+
+
+if __name__ == "__main__":
+    main()

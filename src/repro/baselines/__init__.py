@@ -1,0 +1,33 @@
+"""Comparison algorithms: quotas, FA*IR, Multinomial FA*IR, and (Δ+2)-approximation."""
+
+from .delta_two import (
+    DeltaTwoReranker,
+    PrefixConstraints,
+    augment_with_complements,
+    constraints_from_selection,
+    delta_two_from_dca,
+)
+from .fair import FairRanker, adjusted_alpha, fair_topk_mask, mtable
+from .multinomial_fair import (
+    MultinomialFairRanker,
+    MultinomialMTable,
+    cartesian_subgroups,
+)
+from .quota import multi_quota_selection, quota_selection
+
+__all__ = [
+    "quota_selection",
+    "multi_quota_selection",
+    "mtable",
+    "adjusted_alpha",
+    "FairRanker",
+    "fair_topk_mask",
+    "MultinomialMTable",
+    "MultinomialFairRanker",
+    "cartesian_subgroups",
+    "PrefixConstraints",
+    "constraints_from_selection",
+    "augment_with_complements",
+    "DeltaTwoReranker",
+    "delta_two_from_dca",
+]

@@ -1,0 +1,65 @@
+"""The paper's primary contribution: bonus-point disparity compensation (DCA)."""
+
+from .adam import Adam
+from .bonus import BonusVector, apply_bonus
+from .calibration import (
+    TradeoffPoint,
+    proportion_for_disparity,
+    proportion_for_utility,
+    proportion_sweep,
+)
+from .config import DCAConfig
+from .dca import DCA, CoreDCA, DCARefinement, FullDCA, fit_bonus_points
+from .disparity import (
+    AttributeNormalizer,
+    DisparityCalculator,
+    DisparityResult,
+    LogDiscountedDisparity,
+    default_k_grid,
+    disparity_norm,
+    disparity_vector,
+)
+from .objectives import (
+    DisparateImpactObjective,
+    DisparityObjective,
+    ExposureGapObjective,
+    FairnessObjective,
+    FalsePositiveRateObjective,
+    LogDiscountedDisparityObjective,
+)
+from .result import DCAResult, DCATrace
+from .sampling import SampleStream, rarest_group_frequency, recommended_sample_size
+
+__all__ = [
+    "Adam",
+    "BonusVector",
+    "apply_bonus",
+    "DCAConfig",
+    "DCA",
+    "CoreDCA",
+    "DCARefinement",
+    "FullDCA",
+    "fit_bonus_points",
+    "DCAResult",
+    "DCATrace",
+    "AttributeNormalizer",
+    "DisparityCalculator",
+    "DisparityResult",
+    "LogDiscountedDisparity",
+    "default_k_grid",
+    "disparity_vector",
+    "disparity_norm",
+    "FairnessObjective",
+    "DisparityObjective",
+    "LogDiscountedDisparityObjective",
+    "DisparateImpactObjective",
+    "FalsePositiveRateObjective",
+    "ExposureGapObjective",
+    "SampleStream",
+    "rarest_group_frequency",
+    "recommended_sample_size",
+    "TradeoffPoint",
+    "proportion_sweep",
+    "proportion_for_utility",
+    "proportion_for_disparity",
+]

@@ -1,0 +1,95 @@
+"""A standalone Adam optimizer (Kingma & Ba, 2015).
+
+The DCA refinement step (Algorithm 2 of the paper) replaces the fixed
+learning rate of Core DCA with Adam's per-parameter adaptive step size, which
+the authors note "is especially useful and popular to deal with the noise
+created by samples".  The reproduction environment has no ML framework
+installed, so the update rule is implemented directly; it follows the
+original paper's bias-corrected first/second-moment formulation.
+
+DCA is not gradient descent — the "gradient" fed to Adam is the (sample)
+disparity vector itself — but the update mechanics are identical, so this
+class is written as a generic vector optimizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam optimizer over a single parameter vector.
+
+    Parameters
+    ----------
+    learning_rate:
+        Global step size (``alpha`` in the Adam paper).
+    beta1, beta2:
+        Exponential decay rates for the first and second moment estimates.
+    epsilon:
+        Numerical-stability constant added to the denominator.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta1/beta2 must lie in [0, 1), got {beta1}, {beta2}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._first_moment: np.ndarray | None = None
+        self._second_moment: np.ndarray | None = None
+        self._step_count = 0
+
+    @property
+    def step_count(self) -> int:
+        """Number of updates applied so far."""
+        return self._step_count
+
+    def reset(self) -> None:
+        """Forget all accumulated moment estimates."""
+        self._first_moment = None
+        self._second_moment = None
+        self._step_count = 0
+
+    def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Return updated parameters after one Adam step along ``-gradient``.
+
+        The caller's arrays are not modified; a new array is returned.
+        """
+        parameters = np.asarray(parameters, dtype=float)
+        gradient = np.asarray(gradient, dtype=float)
+        if parameters.shape != gradient.shape:
+            raise ValueError(
+                f"parameter shape {parameters.shape} does not match gradient shape {gradient.shape}"
+            )
+        if self._first_moment is None:
+            self._first_moment = np.zeros_like(parameters)
+            self._second_moment = np.zeros_like(parameters)
+        elif self._first_moment.shape != parameters.shape:
+            raise ValueError(
+                "parameter dimensionality changed between steps: "
+                f"{self._first_moment.shape} vs {parameters.shape}"
+            )
+
+        self._step_count += 1
+        self._first_moment = self.beta1 * self._first_moment + (1.0 - self.beta1) * gradient
+        self._second_moment = (
+            self.beta2 * self._second_moment + (1.0 - self.beta2) * gradient**2
+        )
+        first_unbiased = self._first_moment / (1.0 - self.beta1**self._step_count)
+        second_unbiased = self._second_moment / (1.0 - self.beta2**self._step_count)
+        update = self.learning_rate * first_unbiased / (np.sqrt(second_unbiased) + self.epsilon)
+        return parameters - update

@@ -1,0 +1,170 @@
+"""Trading fairness against utility by scaling the bonus vector.
+
+Section VI-A2 of the paper observes that applying a *fraction* of the
+recommended bonus points yields roughly that fraction of the disparity
+reduction, and that "the correct proportion of bonus points to apply can be
+selected through a binary search" to hit a desired utility (nDCG) or fairness
+threshold.  This module implements both the sweep (Figures 2, 3, and 7) and
+the binary searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics.ndcg import ndcg_at_k
+from ..ranking import ScoreFunction
+from ..tabular import Table
+from .bonus import BonusVector
+from .objectives import FairnessObjective
+
+__all__ = [
+    "TradeoffPoint",
+    "proportion_sweep",
+    "proportion_for_utility",
+    "proportion_for_disparity",
+]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the utility/fairness trade-off curve."""
+
+    proportion: float
+    bonus: BonusVector
+    disparity: dict[str, float]
+    disparity_norm: float
+    ndcg: float
+
+
+def _evaluate_proportion(
+    proportion: float,
+    table: Table,
+    score_function: ScoreFunction,
+    bonus: BonusVector,
+    objective: FairnessObjective,
+    k: float,
+    granularity: float,
+) -> TradeoffPoint:
+    scaled = bonus.scaled(proportion)
+    if granularity > 0:
+        scaled = scaled.rounded(granularity)
+    base_scores = score_function.scores(table)
+    compensated = scaled.apply(table, base_scores)
+    result = objective.evaluate(table, compensated, k)
+    utility = ndcg_at_k(base_scores, compensated, k)
+    return TradeoffPoint(
+        proportion=float(proportion),
+        bonus=scaled,
+        disparity=result.as_dict(include_norm=False),
+        disparity_norm=result.norm,
+        ndcg=utility,
+    )
+
+
+def proportion_sweep(
+    table: Table,
+    score_function: ScoreFunction,
+    bonus: BonusVector,
+    objective: FairnessObjective,
+    k: float,
+    proportions: Sequence[float] | None = None,
+    granularity: float = 0.5,
+) -> list[TradeoffPoint]:
+    """Evaluate disparity and nDCG for a grid of bonus proportions.
+
+    This regenerates the data behind Figures 2 and 3: the disparity norm
+    decreases (near linearly, with steps caused by the rounding granularity)
+    while nDCG decreases slightly as the proportion grows from 0 to 1.
+    """
+    objective.fit(table)
+    if proportions is None:
+        proportions = [round(0.1 * i, 10) for i in range(0, 11)]
+    return [
+        _evaluate_proportion(p, table, score_function, bonus, objective, k, granularity)
+        for p in proportions
+    ]
+
+
+def _binary_search(
+    predicate,
+    low: float = 0.0,
+    high: float = 1.0,
+    tolerance: float = 1e-3,
+    max_iterations: int = 40,
+) -> float:
+    """Largest value in [low, high] for which ``predicate`` holds (assumes monotonicity)."""
+    if predicate(high):
+        return high
+    if not predicate(low):
+        return low
+    for _ in range(max_iterations):
+        middle = (low + high) / 2.0
+        if predicate(middle):
+            low = middle
+        else:
+            high = middle
+        if high - low < tolerance:
+            break
+    return low
+
+
+def proportion_for_utility(
+    table: Table,
+    score_function: ScoreFunction,
+    bonus: BonusVector,
+    objective: FairnessObjective,
+    k: float,
+    min_ndcg: float,
+    granularity: float = 0.5,
+) -> TradeoffPoint:
+    """The largest bonus proportion whose nDCG@k stays at or above ``min_ndcg``."""
+    if not 0.0 < min_ndcg <= 1.0:
+        raise ValueError(f"min_ndcg must be in (0, 1], got {min_ndcg}")
+    objective.fit(table)
+
+    def acceptable(proportion: float) -> bool:
+        point = _evaluate_proportion(
+            proportion, table, score_function, bonus, objective, k, granularity
+        )
+        return point.ndcg >= min_ndcg
+
+    best = _binary_search(acceptable)
+    return _evaluate_proportion(best, table, score_function, bonus, objective, k, granularity)
+
+
+def proportion_for_disparity(
+    table: Table,
+    score_function: ScoreFunction,
+    bonus: BonusVector,
+    objective: FairnessObjective,
+    k: float,
+    max_disparity_norm: float,
+    granularity: float = 0.5,
+) -> TradeoffPoint:
+    """The smallest bonus proportion whose disparity norm is at most ``max_disparity_norm``.
+
+    Returns the full-proportion point if even the complete bonus vector cannot
+    reach the requested norm.
+    """
+    if max_disparity_norm < 0:
+        raise ValueError(f"max_disparity_norm must be non-negative, got {max_disparity_norm}")
+    objective.fit(table)
+
+    def too_large(proportion: float) -> bool:
+        point = _evaluate_proportion(
+            proportion, table, score_function, bonus, objective, k, granularity
+        )
+        return point.disparity_norm > max_disparity_norm
+
+    # Find the largest proportion that is still *too large*, then step above it.
+    if not too_large(0.0):
+        return _evaluate_proportion(0.0, table, score_function, bonus, objective, k, granularity)
+    if too_large(1.0):
+        return _evaluate_proportion(1.0, table, score_function, bonus, objective, k, granularity)
+    boundary = _binary_search(too_large)
+    chosen = min(1.0, boundary + 1e-3)
+    return _evaluate_proportion(chosen, table, score_function, bonus, objective, k, granularity)

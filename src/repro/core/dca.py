@@ -1,0 +1,364 @@
+"""The Disparity Compensation Algorithm (DCA).
+
+This module implements the paper's primary contribution:
+
+* :class:`CoreDCA` — Algorithm 1: iterate over decreasing learning rates; at
+  every step draw a small random sample, evaluate the fairness objective for
+  the current bonus vector, and move the bonus vector against it, projecting
+  back onto the feasible box (non-negative, optionally capped) after every
+  step.
+* :class:`DCARefinement` — Algorithm 2: continue from Core DCA's output with
+  an Adam-driven pass over fresh samples, average the iterates to damp the
+  sampling noise, and round to the stakeholder granularity.
+* :class:`DCA` — the user-facing facade that runs both phases and returns a
+  :class:`~repro.core.result.DCAResult`.
+* :class:`FullDCA` — the deterministic variant that evaluates the objective
+  on the entire dataset at every step (the object of Theorem 4.1); it is much
+  slower but useful as an accuracy reference and in tests.
+
+The objective is pluggable (:mod:`repro.core.objectives`): the default is the
+Definition 3 disparity at a known selection fraction ``k``, but the same
+machinery optimizes the log-discounted disparity, disparate impact, false
+positive rate gaps, or exposure gaps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..ranking import ScoreFunction
+from ..tabular import Table
+from .adam import Adam
+from .bonus import BonusVector
+from .config import DCAConfig
+from .objectives import DisparityObjective, FairnessObjective
+from .result import DCAResult, DCATrace
+from .sampling import SampleStream, rarest_group_frequency, recommended_sample_size
+
+__all__ = ["CoreDCA", "DCARefinement", "DCA", "FullDCA", "fit_bonus_points"]
+
+
+def _project(values: np.ndarray, config: DCAConfig) -> np.ndarray:
+    """Project a bonus vector onto the feasible box [min_bonus, max_bonus]."""
+    upper = np.inf if config.max_bonus is None else config.max_bonus
+    return np.clip(values, config.min_bonus, upper)
+
+
+class _BonusSearch:
+    """Shared state and helpers for the Core DCA and refinement phases."""
+
+    def __init__(
+        self,
+        table: Table,
+        score_function: ScoreFunction,
+        objective: FairnessObjective,
+        k: float,
+        config: DCAConfig,
+    ) -> None:
+        if not 0.0 < k <= 1.0:
+            raise ValueError(f"selection fraction k must be in (0, 1], got {k}")
+        config.validate()
+        if table.num_rows == 0:
+            raise ValueError("cannot fit bonus points on an empty table")
+        self.table = table
+        self.score_function = score_function
+        self.objective = objective
+        self.k = float(k)
+        self.config = config
+        self.attribute_names = tuple(objective.attribute_names)
+        self.rng = np.random.default_rng(config.seed)
+
+        # Base scores over the full table are computed once; per-sample scores
+        # are looked up through the sampled row order via an index column.
+        self._base_scores = np.asarray(score_function.scores(table), dtype=float)
+        self._indexed_table = table.with_column("__row_index__", np.arange(table.num_rows, dtype=float))
+
+        if config.sample_size is not None:
+            self.sample_size = int(min(config.sample_size, table.num_rows))
+        else:
+            rarest = rarest_group_frequency(table, self.attribute_names)
+            self.sample_size = recommended_sample_size(
+                self.k, rarest, min_group_count=config.min_group_count,
+                maximum=table.num_rows,
+            )
+        self._stream = SampleStream(self._indexed_table, self.sample_size, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    def initial_bonus(self) -> np.ndarray:
+        """Random non-negative initialization (Algorithm 1's ``B`` init)."""
+        scale = self.config.initial_bonus_scale
+        values = self.rng.uniform(0.0, scale, size=len(self.attribute_names))
+        return _project(values, self.config)
+
+    def sample(self) -> Table:
+        return self._stream.draw()
+
+    def objective_on(self, sample: Table, bonus_values: np.ndarray) -> np.ndarray:
+        """Evaluate the fairness objective on ``sample`` under the given bonuses."""
+        row_index = sample.numeric("__row_index__").astype(int)
+        base = self._base_scores[row_index]
+        bonus = BonusVector(attribute_names=self.attribute_names, values=bonus_values)
+        scores = bonus.apply(sample, base)
+        return self.objective.evaluate(sample, scores, self.k).vector
+
+    def objective_on_full(self, bonus_values: np.ndarray) -> np.ndarray:
+        """Evaluate the objective on the entire table (Full DCA / reporting)."""
+        bonus = BonusVector(attribute_names=self.attribute_names, values=bonus_values)
+        scores = bonus.apply(self.table, self._base_scores)
+        return self.objective.evaluate(self.table, scores, self.k).vector
+
+
+class CoreDCA:
+    """Algorithm 1: fixed-learning-rate sampled descent on the bonus vector."""
+
+    def __init__(
+        self,
+        table: Table,
+        score_function: ScoreFunction,
+        objective: FairnessObjective,
+        k: float,
+        config: DCAConfig | None = None,
+    ) -> None:
+        self.config = config or DCAConfig()
+        self._search = _BonusSearch(table, score_function, objective, k, self.config)
+
+    @property
+    def sample_size(self) -> int:
+        return self._search.sample_size
+
+    def run(self, initial: np.ndarray | None = None) -> tuple[np.ndarray, list[DCATrace]]:
+        """Run the core passes and return (bonus values, per-phase traces)."""
+        search = self._search
+        config = self.config
+        bonus = search.initial_bonus() if initial is None else _project(
+            np.asarray(initial, dtype=float), config
+        )
+        traces: list[DCATrace] = []
+        for learning_rate in config.learning_rates:
+            history = np.zeros((config.iterations, len(search.attribute_names)))
+            norms = np.zeros(config.iterations)
+            for step in range(config.iterations):
+                sample = search.sample()
+                signal = search.objective_on(sample, bonus)
+                bonus = _project(bonus - learning_rate * signal, config)
+                history[step] = bonus
+                norms[step] = float(np.linalg.norm(signal))
+            traces.append(
+                DCATrace(phase=f"core lr={learning_rate:g}", bonus_history=history, objective_norms=norms)
+            )
+        return bonus, traces
+
+
+class DCARefinement:
+    """Algorithm 2: Adam-driven refinement plus iterate averaging and rounding."""
+
+    def __init__(
+        self,
+        table: Table,
+        score_function: ScoreFunction,
+        objective: FairnessObjective,
+        k: float,
+        config: DCAConfig | None = None,
+        search: _BonusSearch | None = None,
+    ) -> None:
+        self.config = config or DCAConfig()
+        self._search = search or _BonusSearch(table, score_function, objective, k, self.config)
+
+    def run(self, initial: np.ndarray) -> tuple[np.ndarray, DCATrace]:
+        """Refine ``initial`` and return (raw averaged bonus values, trace)."""
+        search = self._search
+        config = self.config
+        bonus = _project(np.asarray(initial, dtype=float), config)
+        iterations = config.refinement_iterations
+        if iterations == 0:
+            empty = DCATrace(
+                phase="refinement (skipped)",
+                bonus_history=np.zeros((0, len(search.attribute_names))),
+                objective_norms=np.zeros(0),
+            )
+            return bonus, empty
+        adam = Adam(learning_rate=config.refinement_learning_rate)
+        history = np.zeros((iterations, len(search.attribute_names)))
+        norms = np.zeros(iterations)
+        for step in range(iterations):
+            sample = search.sample()
+            signal = search.objective_on(sample, bonus)
+            bonus = _project(adam.step(bonus, signal), config)
+            history[step] = bonus
+            norms[step] = float(np.linalg.norm(signal))
+        window = min(config.averaging_window, iterations)
+        averaged = history[-window:].mean(axis=0)
+        averaged = _project(averaged, config)
+        trace = DCATrace(phase="refinement", bonus_history=history, objective_norms=norms)
+        return averaged, trace
+
+
+class DCA:
+    """The user-facing Disparity Compensation Algorithm.
+
+    Examples
+    --------
+    >>> from repro.datasets import load_school_cohorts, school_admission_rubric
+    >>> from repro.datasets import SCHOOL_FAIRNESS_ATTRIBUTES
+    >>> train, test = load_school_cohorts(num_students=5000)
+    >>> dca = DCA(SCHOOL_FAIRNESS_ATTRIBUTES, school_admission_rubric(), k=0.05)
+    >>> result = dca.fit(train.table)
+    >>> sorted(result.as_dict()) == sorted(SCHOOL_FAIRNESS_ATTRIBUTES)
+    True
+
+    Parameters
+    ----------
+    fairness_attributes:
+        Columns to compensate.
+    score_function:
+        The (uncompensated) ranking function.
+    k:
+        Selection fraction the bonuses are optimized for.  When using a
+        log-discounted objective this is the cap of the evaluated range.
+    objective:
+        Fairness signal to minimize; defaults to the Definition 3 disparity.
+    config:
+        Hyper-parameters; defaults follow Section V-B.
+    """
+
+    def __init__(
+        self,
+        fairness_attributes: Sequence[str],
+        score_function: ScoreFunction,
+        k: float,
+        objective: FairnessObjective | None = None,
+        config: DCAConfig | None = None,
+    ) -> None:
+        self.fairness_attributes = tuple(fairness_attributes)
+        if not self.fairness_attributes:
+            raise ValueError("at least one fairness attribute is required")
+        if not 0.0 < float(k) <= 1.0:
+            raise ValueError(f"selection fraction k must be in (0, 1], got {k}")
+        self.score_function = score_function
+        self.k = float(k)
+        self.config = config or DCAConfig()
+        self.config.validate()
+        if objective is not None and tuple(objective.attribute_names) != self.fairness_attributes:
+            raise ValueError(
+                "the objective's attributes must match the fairness attributes: "
+                f"{objective.attribute_names} vs {self.fairness_attributes}"
+            )
+        self.objective = objective or DisparityObjective(self.fairness_attributes)
+
+    def fit(self, table: Table) -> DCAResult:
+        """Fit bonus points on ``table`` (the training cohort / distribution sample)."""
+        start = time.perf_counter()
+        self.objective.fit(table)
+        search = _BonusSearch(table, self.score_function, self.objective, self.k, self.config)
+        core = CoreDCA(table, self.score_function, self.objective, self.k, self.config)
+        core._search = search  # share the sample stream and cached scores
+        core_values, traces = core.run()
+        core_bonus = BonusVector(attribute_names=self.fairness_attributes, values=core_values)
+
+        if self.config.refinement_iterations > 0:
+            refinement = DCARefinement(
+                table, self.score_function, self.objective, self.k, self.config, search=search
+            )
+            raw_values, refine_trace = refinement.run(core_values)
+            traces = traces + [refine_trace]
+        else:
+            raw_values = core_values
+
+        raw_bonus = BonusVector(attribute_names=self.fairness_attributes, values=raw_values)
+        final = raw_bonus.clipped(self.config.min_bonus, self.config.max_bonus)
+        if self.config.granularity > 0:
+            final = final.rounded(self.config.granularity)
+            final = final.clipped(self.config.min_bonus, self.config.max_bonus)
+        elapsed = time.perf_counter() - start
+        return DCAResult(
+            bonus=final,
+            raw_bonus=raw_bonus,
+            core_bonus=core_bonus,
+            traces=tuple(traces),
+            sample_size=search.sample_size,
+            elapsed_seconds=elapsed,
+        )
+
+    def compensated_scores(self, table: Table, bonus: BonusVector) -> np.ndarray:
+        """Convenience: apply a fitted bonus vector to new data."""
+        return bonus.apply(table, self.score_function.scores(table))
+
+
+class FullDCA:
+    """The no-sampling variant: every step evaluates the full dataset.
+
+    Theorem 4.1 is stated for this variant.  It is deterministic given the
+    initialization and is used in tests to check the descent property and as
+    an accuracy reference in the ablation benchmarks.
+    """
+
+    def __init__(
+        self,
+        fairness_attributes: Sequence[str],
+        score_function: ScoreFunction,
+        k: float,
+        objective: FairnessObjective | None = None,
+        config: DCAConfig | None = None,
+    ) -> None:
+        self.fairness_attributes = tuple(fairness_attributes)
+        if not self.fairness_attributes:
+            raise ValueError("at least one fairness attribute is required")
+        if not 0.0 < float(k) <= 1.0:
+            raise ValueError(f"selection fraction k must be in (0, 1], got {k}")
+        self.score_function = score_function
+        self.k = float(k)
+        base = config or DCAConfig()
+        # Full DCA ignores the sampling machinery entirely.
+        self.config = base
+        self.objective = objective or DisparityObjective(self.fairness_attributes)
+
+    def fit(self, table: Table) -> DCAResult:
+        start = time.perf_counter()
+        self.objective.fit(table)
+        config = self.config
+        config.validate()
+        search = _BonusSearch(table, self.score_function, self.objective, self.k, config)
+        bonus = search.initial_bonus()
+        traces: list[DCATrace] = []
+        for learning_rate in config.learning_rates:
+            history = np.zeros((config.iterations, len(self.fairness_attributes)))
+            norms = np.zeros(config.iterations)
+            for step in range(config.iterations):
+                signal = search.objective_on_full(bonus)
+                bonus = _project(bonus - learning_rate * signal, config)
+                history[step] = bonus
+                norms[step] = float(np.linalg.norm(signal))
+            traces.append(
+                DCATrace(
+                    phase=f"full lr={learning_rate:g}", bonus_history=history, objective_norms=norms
+                )
+            )
+        raw = BonusVector(attribute_names=self.fairness_attributes, values=bonus)
+        final = raw.clipped(config.min_bonus, config.max_bonus)
+        if config.granularity > 0:
+            final = final.rounded(config.granularity).clipped(config.min_bonus, config.max_bonus)
+        elapsed = time.perf_counter() - start
+        return DCAResult(
+            bonus=final,
+            raw_bonus=raw,
+            core_bonus=raw,
+            traces=tuple(traces),
+            sample_size=table.num_rows,
+            elapsed_seconds=elapsed,
+        )
+
+
+def fit_bonus_points(
+    table: Table,
+    fairness_attributes: Sequence[str],
+    score_function: ScoreFunction,
+    k: float,
+    objective: FairnessObjective | None = None,
+    config: DCAConfig | None = None,
+) -> DCAResult:
+    """One-call convenience wrapper around :class:`DCA`."""
+    dca = DCA(fairness_attributes, score_function, k, objective=objective, config=config)
+    return dca.fit(table)

@@ -1,0 +1,234 @@
+"""Pluggable optimization objectives for DCA.
+
+DCA's update rule moves the bonus vector *against* a per-attribute fairness
+signal: ``B ← B − L · D``.  Any metric can drive the search as long as it
+(Section VI-C5):
+
+* is a vector with one independently computed dimension per fairness
+  attribute,
+* lies in [-1, 1] with **negative values meaning the group needs more bonus
+  points** (under-representation / disadvantage), positive values meaning the
+  group is over-compensated, and zero meaning fairness,
+* can be summarized by its norm.
+
+The objectives implemented here are the ones the paper evaluates:
+
+``DisparityObjective``
+    The default — Definition 3's centroid difference at a known ``k``.
+``LogDiscountedDisparityObjective``
+    Section IV-E's discounted average over a grid of ``k`` values.
+``DisparateImpactObjective``
+    The scaled disparate-impact ratio of Zafar et al. (Section VI-C5).
+``FalsePositiveRateObjective``
+    Equalized-odds-style FPR differences, used on COMPAS (Figure 10b).
+``ExposureGapObjective``
+    Per-group average exposure differences (the DDP building block of
+    Section VI-C4), usable as a direct optimization target.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..ranking import selection_mask
+from ..tabular import Table
+from .disparity import (
+    AttributeNormalizer,
+    DisparityCalculator,
+    DisparityResult,
+    LogDiscountedDisparity,
+)
+
+__all__ = [
+    "FairnessObjective",
+    "DisparityObjective",
+    "LogDiscountedDisparityObjective",
+    "DisparateImpactObjective",
+    "FalsePositiveRateObjective",
+    "ExposureGapObjective",
+]
+
+
+class FairnessObjective(abc.ABC):
+    """Base class for the vector-valued fairness signals DCA can minimize."""
+
+    def __init__(self, attribute_names: Sequence[str]) -> None:
+        if not attribute_names:
+            raise ValueError("at least one fairness attribute is required")
+        self.attribute_names = tuple(attribute_names)
+
+    @abc.abstractmethod
+    def evaluate(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
+        """Per-attribute fairness signal for selecting the top ``k`` by ``scores``."""
+
+    def fit(self, table: Table) -> "FairnessObjective":
+        """Fit any normalization state on a reference population (no-op by default)."""
+        return self
+
+    def norm(self, table: Table, scores: np.ndarray, k: float) -> float:
+        return self.evaluate(table, scores, k).norm
+
+
+class DisparityObjective(FairnessObjective):
+    """The paper's default objective: Definition 3 disparity at a known ``k``."""
+
+    def __init__(
+        self,
+        attribute_names: Sequence[str],
+        normalizer: AttributeNormalizer | None = None,
+    ) -> None:
+        super().__init__(attribute_names)
+        self.calculator = DisparityCalculator(self.attribute_names, normalizer=normalizer)
+
+    def fit(self, table: Table) -> "DisparityObjective":
+        self.calculator.fit(table)
+        return self
+
+    def evaluate(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
+        return self.calculator.disparity(table, scores, k)
+
+
+class LogDiscountedDisparityObjective(FairnessObjective):
+    """Section IV-E: discounted disparity over many selection fractions."""
+
+    def __init__(
+        self,
+        attribute_names: Sequence[str],
+        k_grid: Sequence[float] | None = None,
+        normalizer: AttributeNormalizer | None = None,
+    ) -> None:
+        super().__init__(attribute_names)
+        self.calculator = DisparityCalculator(self.attribute_names, normalizer=normalizer)
+        self.discounted = LogDiscountedDisparity(self.calculator, k_grid=k_grid)
+
+    def fit(self, table: Table) -> "LogDiscountedDisparityObjective":
+        self.calculator.fit(table)
+        return self
+
+    def evaluate(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
+        # ``k`` caps the grid: "the disparity outside that section of the
+        # ranking can be ignored" when only part of the ranking matters.
+        return self.discounted.disparity(table, scores, k=k)
+
+
+class DisparateImpactObjective(FairnessObjective):
+    """Scaled disparate impact (Zafar et al.) adapted to DCA's conventions.
+
+    For a binary attribute F, disparate impact is
+    ``min(P(O=1|F=0)/P(O=1|F=1), P(O=1|F=1)/P(O=1|F=0))`` — a ratio in [0, 1]
+    where 1 means equal selection rates.  To drive DCA it is rescaled to
+    [-1, 1]: the magnitude is ``1 − DI`` and the sign is negative when the
+    protected group (F=1) is selected at a *lower* rate than the rest, so that
+    the standard update ``B ← B − L·D`` adds points to the disadvantaged group.
+    """
+
+    def __init__(self, attribute_names: Sequence[str]) -> None:
+        super().__init__(attribute_names)
+
+    def evaluate(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
+        scores = np.asarray(scores, dtype=float)
+        mask = selection_mask(scores, k)
+        values = np.zeros(len(self.attribute_names), dtype=float)
+        for i, name in enumerate(self.attribute_names):
+            membership = table.numeric(name) > 0.5
+            in_group = membership.sum()
+            out_group = (~membership).sum()
+            if in_group == 0 or out_group == 0:
+                values[i] = 0.0
+                continue
+            rate_in = mask[membership].mean()
+            rate_out = mask[~membership].mean()
+            if rate_in == 0.0 and rate_out == 0.0:
+                values[i] = 0.0
+                continue
+            high = max(rate_in, rate_out)
+            low = min(rate_in, rate_out)
+            ratio = low / high if high > 0 else 1.0
+            magnitude = 1.0 - ratio
+            values[i] = magnitude if rate_in > rate_out else -magnitude
+        return DisparityResult(self.attribute_names, values)
+
+
+class FalsePositiveRateObjective(FairnessObjective):
+    """Equalized-odds-style objective: per-group false-positive-rate gaps.
+
+    The COMPAS setting flags defendants predicted to re-offend; a *false
+    positive* is a defendant who did **not** re-offend but was flagged (i.e.
+    was not in the selected low-risk set).  For each group the objective
+    reports ``FPR_overall − FPR_group``: negative when the group's FPR exceeds
+    the overall rate (the group is over-flagged and needs compensation), zero
+    when the rates match.  The paper phrases the same quantity as "subtract
+    the overall FPR from the per-group FPR"; the sign here is flipped so that
+    the uniform DCA update ``B ← B − L·D`` raises bonuses for over-flagged
+    groups.
+
+    Parameters
+    ----------
+    attribute_names:
+        Binary group-membership columns (e.g. one-hot race indicators).
+    label_column:
+        Column holding the true outcome; 1 means the positive event (e.g.
+        recidivism within two years) actually occurred.
+    """
+
+    def __init__(self, attribute_names: Sequence[str], label_column: str) -> None:
+        super().__init__(attribute_names)
+        self.label_column = str(label_column)
+
+    def evaluate(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
+        scores = np.asarray(scores, dtype=float)
+        selected = selection_mask(scores, k)
+        flagged = ~selected  # not selected for release == predicted positive
+        labels = table.numeric(self.label_column) > 0.5
+        actual_negative = ~labels
+        values = np.zeros(len(self.attribute_names), dtype=float)
+        total_negatives = actual_negative.sum()
+        overall_fpr = (
+            float(flagged[actual_negative].mean()) if total_negatives > 0 else 0.0
+        )
+        for i, name in enumerate(self.attribute_names):
+            membership = table.numeric(name) > 0.5
+            group_negatives = membership & actual_negative
+            if group_negatives.sum() == 0:
+                values[i] = 0.0
+                continue
+            group_fpr = float(flagged[group_negatives].mean())
+            values[i] = overall_fpr - group_fpr
+        return DisparityResult(self.attribute_names, values)
+
+
+class ExposureGapObjective(FairnessObjective):
+    """Per-group exposure gaps with logarithmic position discounting.
+
+    Exposure of a ranked object at (1-based) rank ``r`` is ``1 / log2(r + 1)``
+    (Gupta et al., 2021).  For each fairness attribute the objective reports
+    the difference between the group's average exposure and the complement
+    group's average exposure, scaled by the maximum attainable exposure so the
+    value stays in [-1, 1].  Negative means the group is ranked systematically
+    lower (needs compensation).
+    """
+
+    def __init__(self, attribute_names: Sequence[str]) -> None:
+        super().__init__(attribute_names)
+
+    def evaluate(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
+        scores = np.asarray(scores, dtype=float)
+        n = scores.shape[0]
+        if n == 0:
+            raise ValueError("cannot compute exposure over an empty table")
+        order = np.lexsort((np.arange(n), -scores))
+        ranks = np.empty(n, dtype=float)
+        ranks[order] = np.arange(1, n + 1, dtype=float)
+        exposure = 1.0 / np.log2(ranks + 1.0)
+        values = np.zeros(len(self.attribute_names), dtype=float)
+        for i, name in enumerate(self.attribute_names):
+            membership = table.numeric(name) > 0.5
+            if membership.sum() == 0 or (~membership).sum() == 0:
+                values[i] = 0.0
+                continue
+            gap = exposure[membership].mean() - exposure[~membership].mean()
+            values[i] = float(np.clip(gap, -1.0, 1.0))
+        return DisparityResult(self.attribute_names, values)

@@ -1,0 +1,127 @@
+"""Sample-size selection and sample streams for DCA.
+
+DCA never looks at the whole dataset: every iteration draws a small uniform
+sample and treats its disparity as an estimate of the population disparity
+(Section IV-C).  Two quantities bound the sample size from below:
+
+* the Central Limit Theorem needs roughly 30 observations for the selected
+  set, so the sample must contain at least ``min_count / k`` rows, and
+* every fairness subgroup must also appear roughly ``min_count`` times, so
+  the sample must contain at least ``min_count / r`` rows where ``r`` is the
+  frequency of the rarest group.
+
+This gives the paper's ``O(max(1/k, 1/r))`` sample-size rule (Section IV-D).
+The experiments use a fixed sample of 500 for the school data ("our rarest
+fairness category has a frequency of 10%, so we picked a sample size of 500
+elements to ensure a representation of 50 elements").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..tabular import Table
+
+__all__ = [
+    "rarest_group_frequency",
+    "recommended_sample_size",
+    "SampleStream",
+]
+
+
+def rarest_group_frequency(table: Table, attribute_names: Sequence[str]) -> float:
+    """Frequency of the least common fairness group in ``table``.
+
+    Binary attributes contribute their prevalence (share of 1s); continuous
+    attributes do not define a discrete group and are ignored.  If every
+    attribute is continuous the function returns 1.0 (no subgroup constraint).
+    """
+    if table.num_rows == 0:
+        raise ValueError("cannot measure group frequencies on an empty table")
+    rarest = 1.0
+    for name in attribute_names:
+        values = table.numeric(name)
+        unique = np.unique(values)
+        if unique.size <= 2 and np.all(np.isin(unique, (0.0, 1.0))):
+            frequency = float(values.mean())
+            if 0.0 < frequency < rarest:
+                rarest = frequency
+    return rarest
+
+
+def recommended_sample_size(
+    k: float,
+    rarest_frequency: float,
+    min_group_count: int = 30,
+    minimum: int = 100,
+    maximum: int | None = None,
+) -> int:
+    """The paper's ``O(max(1/k, 1/r))`` sample-size rule.
+
+    Parameters
+    ----------
+    k:
+        Selection fraction in (0, 1].
+    rarest_frequency:
+        Frequency ``r`` of the least common fairness group, in (0, 1].
+    min_group_count:
+        How many selected objects / rarest-group members the sample should
+        contain for the Central Limit Theorem to apply (≈30).
+    minimum, maximum:
+        Floor and optional cap on the returned size.
+    """
+    if not 0.0 < k <= 1.0:
+        raise ValueError(f"k must be in (0, 1], got {k}")
+    if not 0.0 < rarest_frequency <= 1.0:
+        raise ValueError(f"rarest_frequency must be in (0, 1], got {rarest_frequency}")
+    if min_group_count <= 0:
+        raise ValueError(f"min_group_count must be positive, got {min_group_count}")
+    size = max(
+        math.ceil(min_group_count / k),
+        math.ceil(min_group_count / rarest_frequency),
+        minimum,
+    )
+    if maximum is not None:
+        size = min(size, maximum)
+    return int(size)
+
+
+class SampleStream:
+    """An endless stream of uniform random samples from a table.
+
+    Core DCA draws "a random sample of sample size from O" at every step; the
+    refinement loop takes "the next sample in O".  Both are served by this
+    stream, which also guards against degenerate samples (e.g. a sample with
+    zero members of some group is fine — the disparity estimate just carries
+    more noise — but a sample smaller than the requested selection is not).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        sample_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if table.num_rows == 0:
+            raise ValueError("cannot sample from an empty table")
+        if sample_size <= 0:
+            raise ValueError(f"sample_size must be positive, got {sample_size}")
+        self.table = table
+        self.sample_size = int(min(sample_size, table.num_rows))
+        self._rng = rng or np.random.default_rng()
+
+    def __iter__(self) -> Iterator[Table]:
+        return self
+
+    def __next__(self) -> Table:
+        return self.draw()
+
+    def draw(self) -> Table:
+        """Return the next uniform random sample (without replacement)."""
+        if self.sample_size >= self.table.num_rows:
+            return self.table
+        indices = self._rng.choice(self.table.num_rows, size=self.sample_size, replace=False)
+        return self.table.take(indices)

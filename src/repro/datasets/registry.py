@@ -1,0 +1,85 @@
+"""A tiny dataset registry with per-process caching.
+
+Experiments, examples, benchmarks, and tests all want "the" school cohorts or
+"the" COMPAS dataset.  Generating an 80,000-row cohort takes a noticeable
+fraction of a second, so the registry memoizes the default-configuration
+datasets while still allowing explicit regeneration with custom parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .compas import CompasDataset, generate_compas_dataset
+from .nyc_schools import SchoolCohort, SchoolGeneratorConfig, generate_school_dataset
+
+__all__ = [
+    "load_school_cohorts",
+    "load_compas",
+    "clear_dataset_cache",
+    "register_dataset",
+    "load_dataset",
+]
+
+_CACHE: dict[str, object] = {}
+_CUSTOM: dict[str, Callable[[], object]] = {}
+
+
+def load_school_cohorts(
+    num_students: int | None = None, refresh: bool = False
+) -> tuple[SchoolCohort, SchoolCohort]:
+    """Return the (train, test) school cohorts, cached per process.
+
+    ``num_students`` overrides the default cohort size (80,000); smaller sizes
+    are used by the test-suite and by quick examples to keep runtimes short.
+    """
+    key = f"schools:{num_students or 'default'}"
+    if refresh or key not in _CACHE:
+        config = (
+            SchoolGeneratorConfig(num_students=num_students)
+            if num_students is not None
+            else SchoolGeneratorConfig()
+        )
+        _CACHE[key] = generate_school_dataset(config=config)
+    return _CACHE[key]  # type: ignore[return-value]
+
+
+def load_compas(num_defendants: int | None = None, refresh: bool = False) -> CompasDataset:
+    """Return the synthetic COMPAS dataset, cached per process."""
+    key = f"compas:{num_defendants or 'default'}"
+    if refresh or key not in _CACHE:
+        if num_defendants is None:
+            _CACHE[key] = generate_compas_dataset()
+        else:
+            from .compas import CompasGeneratorConfig
+
+            _CACHE[key] = generate_compas_dataset(
+                CompasGeneratorConfig(num_defendants=num_defendants)
+            )
+    return _CACHE[key]  # type: ignore[return-value]
+
+
+def register_dataset(name: str, factory: Callable[[], object]) -> None:
+    """Register a custom dataset factory under ``name`` for :func:`load_dataset`."""
+    if not name:
+        raise ValueError("dataset name must be non-empty")
+    _CUSTOM[name] = factory
+
+
+def load_dataset(name: str, refresh: bool = False) -> object:
+    """Load a registered dataset by name (built-ins: ``schools``, ``compas``)."""
+    if name == "schools":
+        return load_school_cohorts(refresh=refresh)
+    if name == "compas":
+        return load_compas(refresh=refresh)
+    if name in _CUSTOM:
+        key = f"custom:{name}"
+        if refresh or key not in _CACHE:
+            _CACHE[key] = _CUSTOM[name]()
+        return _CACHE[key]
+    raise KeyError(f"unknown dataset {name!r}; registered: {sorted(_CUSTOM)} + ['schools', 'compas']")
+
+
+def clear_dataset_cache() -> None:
+    """Drop all cached datasets (tests use this to control memory)."""
+    _CACHE.clear()

@@ -1,0 +1,95 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples
+--------
+List the available experiments::
+
+    repro-experiments list
+
+Run the Table I reproduction on a 20,000-student synthetic cohort::
+
+    repro-experiments run table1 --num-students 20000
+
+Run everything at reduced scale and write the formatted output to a file::
+
+    repro-experiments run-all --num-students 10000 --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import EXPERIMENT_RUNNERS
+from .harness import ExperimentResult
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the fair-ranking DCA paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment name (see 'list')")
+    run_parser.add_argument(
+        "--num-students", type=int, default=None, help="synthetic school cohort size override"
+    )
+    run_parser.add_argument("--output", default=None, help="write the formatted result to a file")
+
+    all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    all_parser.add_argument("--num-students", type=int, default=None)
+    all_parser.add_argument("--output", default=None)
+    return parser
+
+
+def _run_one(name: str, num_students: int | None) -> ExperimentResult:
+    runner = EXPERIMENT_RUNNERS[name]
+    if name in ("fig10", ):
+        return runner()
+    try:
+        return runner(num_students=num_students)
+    except TypeError:
+        return runner()
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENT_RUNNERS):
+            print(name)
+        return 0
+    if args.command == "run":
+        if args.experiment not in EXPERIMENT_RUNNERS:
+            print(
+                f"unknown experiment {args.experiment!r}; available: {sorted(EXPERIMENT_RUNNERS)}",
+                file=sys.stderr,
+            )
+            return 2
+        result = _run_one(args.experiment, args.num_students)
+        _emit(result.format(), args.output)
+        return 0
+    if args.command == "run-all":
+        outputs = []
+        for name in sorted(EXPERIMENT_RUNNERS):
+            outputs.append(_run_one(name, args.num_students).format())
+        _emit("\n\n".join(outputs), args.output)
+        return 0
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Section VI-C4: exposure / demographic disparity (DDP) before and after DCA.
+
+DDP compares the average exposure (1 / log2(rank + 1)) of each group; the
+paper reports a roughly five-fold reduction of DDP on the school data when the
+log-discounted DCA bonus vector is applied.  The ENI attribute is excluded
+because DDP is only defined for binary groups.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import LogDiscountedDisparityObjective
+from ..metrics import ddp
+from .harness import ExperimentResult
+from .setting import SchoolSetting
+
+__all__ = ["run"]
+
+
+def run(
+    num_students: int | None = None,
+    attributes: Sequence[str] = ("low_income", "ell", "special_ed"),
+    max_k: float = 0.5,
+) -> ExperimentResult:
+    """Regenerate the before/after DDP comparison."""
+    setting = SchoolSetting(num_students=num_students)
+    attributes = tuple(attributes)
+    result = ExperimentResult(
+        name="exposure_ddp",
+        description="Demographic disparity (DDP) of the school ranking before and after DCA",
+    )
+    table = setting.test.table
+    base_scores = setting.base_scores("test")
+    # Exposure considers the entire ranking, so the log-discounted mode is used.
+    fitted = setting.fit_dca(max_k, objective=LogDiscountedDisparityObjective(attributes))
+    compensated = fitted.bonus.apply(table, base_scores)
+
+    # Compare each protected group against its complement, as well as all
+    # groups among themselves, by building membership columns on the fly.
+    before = ddp(table, base_scores, attributes)
+    after = ddp(table, compensated, attributes)
+    rows = [
+        {"setting": "baseline", "ddp": before},
+        {"setting": "after DCA (log-discounted)", "ddp": after},
+        {"setting": "reduction factor", "ddp": before / after if after > 0 else float("inf")},
+    ]
+    result.add_table("DDP before/after", rows)
+    result.add_note(f"bonus vector: {fitted.as_dict()}")
+    result.add_note(
+        "Paper reference: DDP drops from 0.00899 to 0.00166 (≈5.4x); absolute values are not "
+        "comparable across datasets of different sizes."
+    )
+    return result

@@ -1,0 +1,67 @@
+"""Figures 2 and 3: utility/disparity trade-off as bonus points are scaled down.
+
+DCA's recommended bonus vector can be applied in any proportion between 0 and
+1.  Figure 2 plots the disparity norm and the nDCG against that proportion;
+Figure 3 breaks the same sweep down per fairness attribute, showing the
+near-linear (step-shaped, because of the 0.5-point granularity) relationship
+between the proportion applied and the disparity compensated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import DisparityObjective
+from ..core.calibration import proportion_sweep
+from .harness import ExperimentResult
+from .setting import DEFAULT_K, SchoolSetting
+
+__all__ = ["run"]
+
+
+def run(
+    num_students: int | None = None,
+    k: float = DEFAULT_K,
+    proportions: Sequence[float] | None = None,
+) -> ExperimentResult:
+    """Regenerate the Figure 2 and Figure 3 series on the test cohort."""
+    setting = SchoolSetting(num_students=num_students)
+    fitted = setting.fit_dca(k)
+    objective = DisparityObjective(setting.fairness_attributes)
+    if proportions is None:
+        proportions = [round(0.1 * i, 10) for i in range(0, 11)]
+
+    points = proportion_sweep(
+        setting.test.table,
+        setting.rubric,
+        fitted.bonus,
+        objective,
+        k,
+        proportions=proportions,
+        granularity=setting.dca_config.granularity,
+    )
+
+    result = ExperimentResult(
+        name="fig2_fig3",
+        description="nDCG and per-attribute disparity for varying proportions of the bonus points",
+    )
+    fig2_rows = [
+        {"proportion": p.proportion, "disparity_norm": p.disparity_norm, "ndcg": p.ndcg}
+        for p in points
+    ]
+    result.add_table("fig 2: nDCG and disparity norm vs proportion", fig2_rows)
+
+    fig3_rows = []
+    for p in points:
+        row: dict[str, object] = {"proportion": p.proportion}
+        row.update(p.disparity)
+        row["norm"] = p.disparity_norm
+        fig3_rows.append(row)
+    result.add_table("fig 3: per-attribute disparity vs proportion", fig3_rows)
+
+    result.add_note(f"bonus vector at proportion 1.0: {fitted.as_dict()}")
+    result.add_note(
+        "Paper reference: the relationship is near linear; applying half the bonus points "
+        "yields roughly half the disparity reduction, while nDCG stays above 0.95."
+    )
+    return result

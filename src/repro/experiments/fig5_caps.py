@@ -1,0 +1,51 @@
+"""Figure 5: log-discounted disparity when bonus points are capped.
+
+DCA can enforce a maximum number of bonus points at every step (Section
+VI-A4).  Small caps leave substantial residual disparity; as the cap grows
+toward the unconstrained optimum the disparity shrinks.  Capped attributes
+can also shift points onto correlated uncapped attributes, which is visible
+in the per-attribute breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..core import LogDiscountedDisparity, LogDiscountedDisparityObjective
+from .harness import ExperimentResult
+from .setting import SchoolSetting
+
+__all__ = ["run"]
+
+DEFAULT_CAPS: tuple[float, ...] = (0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 20.0)
+
+
+def run(
+    num_students: int | None = None,
+    caps: Sequence[float] = DEFAULT_CAPS,
+    max_k: float = 0.5,
+) -> ExperimentResult:
+    """Regenerate the Figure 5 series (max bonus cap vs discounted disparity)."""
+    setting = SchoolSetting(num_students=num_students)
+    result = ExperimentResult(
+        name="fig5",
+        description="Log-discounted disparity when a maximum number of bonus points is enforced",
+    )
+    evaluator = LogDiscountedDisparity(setting.calculator("test"))
+    rows: list[dict[str, object]] = []
+    for cap in caps:
+        config = replace(setting.dca_config, max_bonus=float(cap))
+        objective = LogDiscountedDisparityObjective(setting.fairness_attributes)
+        fitted = setting.fit_dca(max_k, objective=objective, config=config)
+        scores = setting.compensated_scores("test", fitted.bonus)
+        disparity = evaluator.disparity(setting.test.table, scores, k=max_k)
+        row: dict[str, object] = {"max_bonus": float(cap)}
+        row.update(disparity.as_dict())
+        rows.append(row)
+    result.add_table("fig 5: discounted disparity vs max bonus", rows)
+    result.add_note(
+        "Paper reference: disparity is worst for small caps and approaches the unconstrained "
+        "result as the cap reaches ~15-20 points."
+    )
+    return result

@@ -1,0 +1,94 @@
+"""Table I: school-data disparity before and after bonus points.
+
+Reproduces the paper's headline table: the baseline disparity of the school
+rubric at a 5% selection rate on the training and test cohorts, the bonus
+points found by Core DCA (Algorithm 1 alone) and by DCA (with the refinement
+step), and the resulting disparities on both cohorts.
+"""
+
+from __future__ import annotations
+
+from ..core import DCAConfig
+from .harness import ExperimentResult
+from .setting import DEFAULT_K, SchoolSetting
+
+__all__ = ["run"]
+
+
+def _disparity_row(setting: SchoolSetting, which: str, scores, label: str) -> dict[str, object]:
+    values = setting.disparity(which, scores, DEFAULT_K)
+    row: dict[str, object] = {"setting": label}
+    for name in setting.fairness_attributes:
+        row[name] = values[name]
+    row["norm"] = values["norm"]
+    return row
+
+
+def run(num_students: int | None = None, k: float = DEFAULT_K) -> ExperimentResult:
+    """Regenerate Table I.
+
+    Parameters
+    ----------
+    num_students:
+        Cohort size override (None = the paper-scale 80,000 students).
+    k:
+        Selection fraction (default 5%).
+    """
+    setting = SchoolSetting(num_students=num_students)
+    result = ExperimentResult(
+        name="table1",
+        description="Disparity vectors for the school data before and after bonus points",
+    )
+
+    baseline_rows = [
+        _disparity_row(setting, "train", setting.base_scores("train"), "Training 2016-2017"),
+        _disparity_row(setting, "test", setting.base_scores("test"), "Test 2017-2018"),
+    ]
+    result.add_table("baseline disparity", baseline_rows)
+
+    # Core DCA: Algorithm 1 only (no refinement step).
+    core_config = setting.dca_config.without_refinement()
+    core_result = setting.fit_dca(k, config=core_config)
+    core_rows = [
+        {"setting": "Bonus Points", **core_result.as_dict(), "norm": ""},
+        _disparity_row(
+            setting,
+            "train",
+            setting.compensated_scores("train", core_result.bonus),
+            "Training 2016-2017",
+        ),
+        _disparity_row(
+            setting,
+            "test",
+            setting.compensated_scores("test", core_result.bonus),
+            "Test 2017-2018",
+        ),
+    ]
+    result.add_table("Core DCA", core_rows)
+
+    # Full DCA with refinement.
+    dca_result = setting.fit_dca(k)
+    dca_rows = [
+        {"setting": "Bonus Points", **dca_result.as_dict(), "norm": ""},
+        _disparity_row(
+            setting,
+            "train",
+            setting.compensated_scores("train", dca_result.bonus),
+            "Training 2016-2017",
+        ),
+        _disparity_row(
+            setting,
+            "test",
+            setting.compensated_scores("test", dca_result.bonus),
+            "Test 2017-2018",
+        ),
+    ]
+    result.add_table("DCA (with refinement)", dca_rows)
+
+    result.add_note(f"selection fraction k = {k:.0%}; sample size = {dca_result.sample_size}")
+    result.add_note(f"Core DCA bonus vector: {core_result.as_dict()}")
+    result.add_note(f"DCA bonus vector: {dca_result.as_dict()}")
+    result.add_note(
+        "Paper reference (Table I): baseline norm ≈ 0.37; Core DCA norm ≈ 0.06-0.07; DCA norm ≈ 0.02-0.03."
+    )
+    return result

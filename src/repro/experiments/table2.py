@@ -1,0 +1,80 @@
+"""Table II: DCA vs Multinomial FA*IR on a single school district.
+
+Multinomial FA*IR cannot handle overlapping protected groups and, in the
+authors' experience, does not scale to the full city, so the paper runs the
+comparison on one district of ≈2,500 students with three binary fairness
+attributes (low-income, ELL, special-ed), using the three most-discriminated
+Cartesian-product subgroups as FA*IR's protected groups.  Both methods reduce
+disparity; DCA does better because it treats the overlapping dimensions
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..baselines import MultinomialFairRanker, cartesian_subgroups
+from ..core import DCA, DisparityCalculator
+from ..ranking import selection_size
+from .harness import ExperimentResult
+from .setting import DEFAULT_K, SchoolSetting
+
+__all__ = ["run"]
+
+
+def run(
+    num_students: int | None = None,
+    district: int = 20,
+    k: float = DEFAULT_K,
+    attributes: Sequence[str] = ("low_income", "ell", "special_ed"),
+    alpha: float = 0.1,
+) -> ExperimentResult:
+    """Regenerate Table II on one synthetic district."""
+    setting = SchoolSetting(num_students=num_students)
+    attributes = tuple(attributes)
+    district_table = setting.train.district(district)
+    if district_table.num_rows < 100:
+        raise ValueError(
+            f"district {district} has only {district_table.num_rows} students; pick another"
+        )
+    base_scores = setting.rubric.scores(district_table)
+    calculator = DisparityCalculator(attributes).fit(district_table)
+    size = selection_size(district_table.num_rows, k)
+
+    result = ExperimentResult(
+        name="table2",
+        description="DCA vs Multinomial FA*IR on a single district",
+    )
+
+    def row_from_disparity(label: str, disparity) -> dict[str, object]:
+        row: dict[str, object] = {"method": label}
+        row.update(disparity.as_dict())
+        return row
+
+    baseline = calculator.disparity(district_table, base_scores, k)
+    rows = [row_from_disparity("Baseline", baseline)]
+
+    # DCA fitted directly on the district.
+    dca = DCA(attributes, setting.rubric, k=k, config=setting.dca_config)
+    fitted = dca.fit(district_table)
+    compensated = fitted.bonus.apply(district_table, base_scores)
+    rows.append(row_from_disparity("DCA", calculator.disparity(district_table, compensated, k)))
+
+    # Multinomial FA*IR over the three most-disadvantaged disjoint subgroups.
+    subgroups = cartesian_subgroups(district_table, attributes, top=3)
+    proportions = {name: float(mask.mean()) for name, mask in subgroups.items()}
+    ranker = MultinomialFairRanker(proportions=proportions, alpha=alpha, seed=setting.seed)
+    fair_mask = ranker.rerank_mask(base_scores, subgroups, size)
+    rows.append(
+        row_from_disparity("Multinomial FA*IR", calculator.disparity_from_mask(district_table, fair_mask))
+    )
+
+    result.add_table("table II", rows)
+    result.add_note(f"district {district}: {district_table.num_rows} students; k = {k:.0%}")
+    result.add_note(f"DCA bonus points: {fitted.as_dict()}")
+    result.add_note(f"FA*IR protected subgroups and shares: { {n: round(p, 4) for n, p in proportions.items()} }")
+    result.add_note(
+        "Paper reference: baseline norm ≈ 0.32, DCA norm ≈ 0.01, Multinomial FA*IR norm ≈ 0.11 — "
+        "both methods improve, DCA more so because it handles overlapping subgroups."
+    )
+    return result

@@ -1,0 +1,6 @@
+"""Deferred-acceptance matching substrate for the school-admissions scenario."""
+
+from .deferred_acceptance import MatchResult, deferred_acceptance
+from .preferences import generate_student_preferences
+
+__all__ = ["MatchResult", "deferred_acceptance", "generate_student_preferences"]

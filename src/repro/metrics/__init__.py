@@ -1,0 +1,39 @@
+"""Fairness and utility metrics used across the evaluation."""
+
+from .disparate_impact import (
+    disparate_impact,
+    disparate_impact_by_attribute,
+    selection_rates,
+)
+from .exposure import average_group_exposure, ddp, group_exposure, position_values
+from .ndcg import dcg, ndcg_at_k, ndcg_curve
+from .parity import parity_report, representation, representation_gap, selection_rate
+from .rates import (
+    equalized_odds_gap,
+    false_negative_rate,
+    false_positive_rate,
+    fpr_gaps,
+    group_false_positive_rates,
+)
+
+__all__ = [
+    "dcg",
+    "ndcg_at_k",
+    "ndcg_curve",
+    "position_values",
+    "group_exposure",
+    "average_group_exposure",
+    "ddp",
+    "disparate_impact",
+    "disparate_impact_by_attribute",
+    "selection_rates",
+    "false_positive_rate",
+    "false_negative_rate",
+    "group_false_positive_rates",
+    "fpr_gaps",
+    "equalized_odds_gap",
+    "selection_rate",
+    "representation",
+    "representation_gap",
+    "parity_report",
+]

@@ -1,0 +1,66 @@
+"""Disparate impact: selection-rate ratios between protected and unprotected groups.
+
+Disparate impact (Zafar et al., as used in Section VI-C5) for one binary
+fairness attribute F is::
+
+    DI = min( P(O=1 | F=0) / P(O=1 | F=1),  P(O=1 | F=1) / P(O=1 | F=0) )
+
+where O=1 means the object is selected.  DI lies in [0, 1]; 1 means the
+groups are selected at identical rates (the classic "80% rule" flags DI below
+0.8).  The scaled-to-[-1, 1] version used to drive DCA lives in
+:class:`repro.core.objectives.DisparateImpactObjective`; this module provides
+the plain reporting metric.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ranking import selection_mask
+from ..tabular import Table
+
+__all__ = ["selection_rates", "disparate_impact", "disparate_impact_by_attribute"]
+
+
+def selection_rates(membership: np.ndarray, selected: np.ndarray) -> tuple[float, float]:
+    """Selection rates (in-group, out-of-group) for one binary attribute."""
+    membership = np.asarray(membership, dtype=bool)
+    selected = np.asarray(selected, dtype=bool)
+    if membership.shape != selected.shape:
+        raise ValueError(
+            f"membership has shape {membership.shape}, expected {selected.shape}"
+        )
+    if membership.sum() == 0 or (~membership).sum() == 0:
+        raise ValueError("both the protected and unprotected groups must be non-empty")
+    return float(selected[membership].mean()), float(selected[~membership].mean())
+
+
+def disparate_impact(membership: np.ndarray, selected: np.ndarray) -> float:
+    """The DI ratio in [0, 1] for one binary attribute (1 = parity)."""
+    rate_in, rate_out = selection_rates(membership, selected)
+    if rate_in == 0.0 and rate_out == 0.0:
+        return 1.0
+    high, low = max(rate_in, rate_out), min(rate_in, rate_out)
+    if high == 0.0:
+        return 1.0
+    return float(low / high)
+
+
+def disparate_impact_by_attribute(
+    table: Table,
+    scores: np.ndarray,
+    attribute_names: Sequence[str],
+    k: float,
+) -> dict[str, float]:
+    """DI of the top-k selection for each binary fairness attribute."""
+    selected = selection_mask(np.asarray(scores, dtype=float), k)
+    result: dict[str, float] = {}
+    for name in attribute_names:
+        membership = table.numeric(name) > 0.5
+        if membership.sum() == 0 or (~membership).sum() == 0:
+            result[name] = 1.0
+            continue
+        result[name] = disparate_impact(membership, selected)
+    return result

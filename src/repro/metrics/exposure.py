@@ -1,0 +1,82 @@
+"""Exposure-based fairness metrics (Section VI-C4).
+
+Exposure of a group in a ranking is the sum, over the group's members, of the
+position value ``1 / log2(rank + 1)`` (Gupta et al., 2021).  The demographic
+disparity constraint (DDP) is the largest pairwise difference between the
+groups' *average* exposures; zero means every group receives the same average
+exposure and the ranking is considered fair under this metric.  DDP values
+are not comparable across datasets of different sizes, which is why the paper
+reports only the before/after ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..tabular import Table
+
+__all__ = ["position_values", "group_exposure", "average_group_exposure", "ddp"]
+
+
+def position_values(num_objects: int) -> np.ndarray:
+    """The value of each 1-based rank position: ``1 / log2(rank + 1)``."""
+    if num_objects <= 0:
+        raise ValueError(f"num_objects must be positive, got {num_objects}")
+    ranks = np.arange(1, num_objects + 1, dtype=float)
+    return 1.0 / np.log2(ranks + 1.0)
+
+
+def _ranks_from_scores(scores: np.ndarray) -> np.ndarray:
+    scores = np.asarray(scores, dtype=float)
+    n = scores.shape[0]
+    order = np.lexsort((np.arange(n), -scores))
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.arange(1, n + 1)
+    return ranks
+
+
+def group_exposure(scores: np.ndarray, membership: np.ndarray) -> float:
+    """Total exposure of the group whose ``membership`` mask is True."""
+    membership = np.asarray(membership, dtype=bool)
+    scores = np.asarray(scores, dtype=float)
+    if membership.shape != scores.shape:
+        raise ValueError(
+            f"membership has shape {membership.shape}, expected {scores.shape}"
+        )
+    ranks = _ranks_from_scores(scores)
+    values = 1.0 / np.log2(ranks + 1.0)
+    return float(values[membership].sum())
+
+
+def average_group_exposure(scores: np.ndarray, membership: np.ndarray) -> float:
+    """Exposure of the group divided by the group size (``exposure(G|R) / |G|``)."""
+    membership = np.asarray(membership, dtype=bool)
+    size = int(membership.sum())
+    if size == 0:
+        raise ValueError("the group is empty; average exposure is undefined")
+    return group_exposure(scores, membership) / size
+
+
+def ddp(
+    table: Table,
+    scores: np.ndarray,
+    group_columns: Sequence[str],
+) -> float:
+    """Demographic disparity (DDP): max pairwise average-exposure difference.
+
+    ``group_columns`` are binary membership columns; each defines one group
+    (objects may belong to several).  Groups with no members are skipped.
+    """
+    if len(group_columns) < 2:
+        raise ValueError("DDP needs at least two groups to compare")
+    averages: list[float] = []
+    for name in group_columns:
+        membership = table.numeric(name) > 0.5
+        if membership.sum() == 0:
+            continue
+        averages.append(average_group_exposure(scores, membership))
+    if len(averages) < 2:
+        raise ValueError("fewer than two non-empty groups; DDP is undefined")
+    return float(max(averages) - min(averages))

@@ -1,0 +1,72 @@
+"""Ranking utility: normalized discounted cumulative gain (nDCG).
+
+In fair-ranking applications utility measures how far the *compensated*
+ranking moves away from the original one.  Following the paper (and Zehlike
+et al.), the gain of an object is its original (uncompensated) score and the
+ideal DCG is the DCG of the original ranking itself, so an nDCG of 1 means
+the fairness intervention did not change the top of the ranking at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ranking import selection_size
+
+__all__ = ["dcg", "ndcg_at_k", "ndcg_curve"]
+
+
+def _log_discounts(count: int) -> np.ndarray:
+    positions = np.arange(1, count + 1, dtype=float)
+    return 1.0 / np.log2(positions + 1.0)
+
+
+def dcg(gains_in_rank_order: np.ndarray) -> float:
+    """Discounted cumulative gain of a gain sequence already in rank order."""
+    gains = np.asarray(gains_in_rank_order, dtype=float)
+    if gains.size == 0:
+        return 0.0
+    return float(np.sum(gains * _log_discounts(gains.size)))
+
+
+def ndcg_at_k(base_scores: np.ndarray, new_scores: np.ndarray, k: float) -> float:
+    """nDCG of the top-k ranking induced by ``new_scores``.
+
+    Gains are the original ``base_scores`` (shifted to be non-negative, which
+    leaves the nDCG ordering unchanged and handles lower-is-better scores that
+    were negated upstream); the ideal ordering is the original ranking.
+
+    Parameters
+    ----------
+    base_scores:
+        Uncompensated scores; these define both the gains and the ideal order.
+    new_scores:
+        Compensated scores; these define the evaluated order.
+    k:
+        Selection fraction in (0, 1].
+    """
+    base_scores = np.asarray(base_scores, dtype=float)
+    new_scores = np.asarray(new_scores, dtype=float)
+    if base_scores.shape != new_scores.shape:
+        raise ValueError(
+            f"score arrays have different shapes: {base_scores.shape} vs {new_scores.shape}"
+        )
+    n = base_scores.shape[0]
+    if n == 0:
+        raise ValueError("cannot compute nDCG over zero objects")
+    size = selection_size(n, k)
+    gains = base_scores - base_scores.min()
+
+    new_order = np.lexsort((np.arange(n), -new_scores))[:size]
+    ideal_order = np.lexsort((np.arange(n), -base_scores))[:size]
+    ideal = dcg(gains[ideal_order])
+    if ideal == 0.0:
+        return 1.0
+    return float(dcg(gains[new_order]) / ideal)
+
+
+def ndcg_curve(
+    base_scores: np.ndarray, new_scores: np.ndarray, k_values: list[float] | tuple[float, ...]
+) -> dict[float, float]:
+    """nDCG@k for each selection fraction in ``k_values`` (Figure 1)."""
+    return {float(k): ndcg_at_k(base_scores, new_scores, float(k)) for k in k_values}

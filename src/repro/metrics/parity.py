@@ -1,0 +1,65 @@
+"""Statistical-parity helpers: selection rates and representation gaps.
+
+The disparity metric (Definition 3) measures distance from statistical
+parity.  These small helpers report the underlying quantities in the units
+stakeholders reason about — "the population is 30% low income but the
+selected set is only 20% low income" — and are used by the examples and the
+experiment tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ranking import selection_mask
+from ..tabular import Table
+
+__all__ = [
+    "selection_rate",
+    "representation",
+    "representation_gap",
+    "parity_report",
+]
+
+
+def selection_rate(membership: np.ndarray, selected: np.ndarray) -> float:
+    """Share of the group that is selected."""
+    membership = np.asarray(membership, dtype=bool)
+    selected = np.asarray(selected, dtype=bool)
+    if membership.sum() == 0:
+        return 0.0
+    return float(selected[membership].mean())
+
+
+def representation(
+    table: Table, scores: np.ndarray, attribute: str, k: float
+) -> tuple[float, float]:
+    """(population share, selected-set share) of one binary attribute."""
+    selected = selection_mask(np.asarray(scores, dtype=float), k)
+    values = table.numeric(attribute)
+    population_share = float(np.mean(values > 0.5))
+    selected_share = float(np.mean(values[selected] > 0.5)) if selected.any() else 0.0
+    return population_share, selected_share
+
+
+def representation_gap(table: Table, scores: np.ndarray, attribute: str, k: float) -> float:
+    """Selected-set share minus population share (the binary-attribute disparity)."""
+    population_share, selected_share = representation(table, scores, attribute, k)
+    return selected_share - population_share
+
+
+def parity_report(
+    table: Table, scores: np.ndarray, attribute_names: Sequence[str], k: float
+) -> dict[str, dict[str, float]]:
+    """Population vs selected representation for every binary fairness attribute."""
+    report: dict[str, dict[str, float]] = {}
+    for name in attribute_names:
+        population_share, selected_share = representation(table, scores, name, k)
+        report[name] = {
+            "population": population_share,
+            "selected": selected_share,
+            "gap": selected_share - population_share,
+        }
+    return report

@@ -1,0 +1,104 @@
+"""Error-rate metrics: false positive / false negative rates and equalized-odds gaps.
+
+The COMPAS experiments (Figure 10b) measure how unevenly the tool's *false
+positive rate* — the share of defendants who did **not** re-offend but were
+still flagged high-risk — is distributed across racial groups, and show that
+DCA can be pointed at that gap directly.  These helpers compute the rates and
+gaps given a selection mask and a ground-truth label column.
+
+Conventions: ``selected`` marks the favourable outcome (e.g. judged low-risk
+and released); a *predicted positive* is therefore an unselected object, and a
+*false positive* is an unselected object whose true label is negative.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ranking import selection_mask
+from ..tabular import Table
+
+__all__ = [
+    "false_positive_rate",
+    "false_negative_rate",
+    "group_false_positive_rates",
+    "fpr_gaps",
+    "equalized_odds_gap",
+]
+
+
+def _validate(selected: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    selected = np.asarray(selected, dtype=bool)
+    labels = np.asarray(labels, dtype=bool)
+    if selected.shape != labels.shape:
+        raise ValueError(f"selected has shape {selected.shape}, labels {labels.shape}")
+    return selected, labels
+
+
+def false_positive_rate(selected: np.ndarray, labels: np.ndarray) -> float:
+    """P(flagged | true negative): share of actual negatives that were not selected."""
+    selected, labels = _validate(selected, labels)
+    negatives = ~labels
+    if negatives.sum() == 0:
+        return 0.0
+    flagged = ~selected
+    return float(flagged[negatives].mean())
+
+
+def false_negative_rate(selected: np.ndarray, labels: np.ndarray) -> float:
+    """P(not flagged | true positive): share of actual positives that were selected."""
+    selected, labels = _validate(selected, labels)
+    positives = labels
+    if positives.sum() == 0:
+        return 0.0
+    return float(selected[positives].mean())
+
+
+def group_false_positive_rates(
+    table: Table,
+    scores: np.ndarray,
+    attribute_names: Sequence[str],
+    label_column: str,
+    k: float,
+) -> dict[str, float]:
+    """FPR of the top-k selection for each binary group column (Figure 10b's series)."""
+    selected = selection_mask(np.asarray(scores, dtype=float), k)
+    labels = table.numeric(label_column) > 0.5
+    rates: dict[str, float] = {}
+    for name in attribute_names:
+        membership = table.numeric(name) > 0.5
+        group_negatives = membership & ~labels
+        if group_negatives.sum() == 0:
+            rates[name] = 0.0
+            continue
+        rates[name] = float((~selected)[group_negatives].mean())
+    return rates
+
+
+def fpr_gaps(
+    table: Table,
+    scores: np.ndarray,
+    attribute_names: Sequence[str],
+    label_column: str,
+    k: float,
+) -> dict[str, float]:
+    """Per-group FPR minus the overall FPR (positive = the group is over-flagged)."""
+    selected = selection_mask(np.asarray(scores, dtype=float), k)
+    labels = table.numeric(label_column) > 0.5
+    overall = false_positive_rate(selected, labels)
+    per_group = group_false_positive_rates(table, scores, attribute_names, label_column, k)
+    return {name: rate - overall for name, rate in per_group.items()}
+
+
+def equalized_odds_gap(
+    table: Table,
+    scores: np.ndarray,
+    attribute_names: Sequence[str],
+    label_column: str,
+    k: float,
+) -> float:
+    """Largest absolute per-group FPR deviation from the overall FPR."""
+    gaps = fpr_gaps(table, scores, attribute_names, label_column, k)
+    return float(max(abs(v) for v in gaps.values())) if gaps else 0.0

@@ -1,0 +1,97 @@
+"""The :class:`Ranking` object: a scored, ordered view over a table.
+
+A :class:`Ranking` bundles together a table, the score of every row, and the
+derived ordering.  It is the common currency passed between the core DCA
+algorithm, the fairness metrics, and the baselines: every one of them needs
+"the objects, their scores, and who is in the top k".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..tabular import Table
+from .functions import ScoreFunction
+from .selection import rank_positions, selection_mask, selection_size, top_k_indices
+
+__all__ = ["Ranking", "rank_table"]
+
+
+@dataclass(frozen=True)
+class Ranking:
+    """A table together with per-row scores and the induced ordering.
+
+    Attributes
+    ----------
+    table:
+        The ranked objects.
+    scores:
+        Higher-is-better score for each row of ``table``.
+    """
+
+    table: Table
+    scores: np.ndarray
+    _ranks: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        scores = np.asarray(self.scores, dtype=float)
+        if scores.shape != (self.table.num_rows,):
+            raise ValueError(
+                f"scores have shape {scores.shape}, expected ({self.table.num_rows},)"
+            )
+        object.__setattr__(self, "scores", scores)
+        object.__setattr__(self, "_ranks", rank_positions(scores))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def ranks(self) -> np.ndarray:
+        """0-based rank of each row (0 = best)."""
+        return self._ranks
+
+    def order(self) -> np.ndarray:
+        """Row indices sorted best-first."""
+        return np.argsort(self._ranks, kind="stable")
+
+    def sorted_table(self) -> Table:
+        """The table reordered best-first."""
+        return self.table.take(self.order())
+
+    # ------------------------------------------------------------------
+    def selection_size(self, k: float) -> int:
+        return selection_size(self.num_objects, k)
+
+    def top_k_indices(self, k: float) -> np.ndarray:
+        return top_k_indices(self.scores, k)
+
+    def selected_mask(self, k: float) -> np.ndarray:
+        return selection_mask(self.scores, k)
+
+    def selected(self, k: float) -> Table:
+        """The top ``k`` fraction of objects as a table, ordered best-first."""
+        return self.table.take(self.top_k_indices(k))
+
+    def unselected(self, k: float) -> Table:
+        """Objects outside the top ``k`` fraction."""
+        return self.table.filter(~self.selected_mask(k))
+
+    # ------------------------------------------------------------------
+    def with_scores(self, scores: np.ndarray) -> "Ranking":
+        """A new ranking over the same table with different scores."""
+        return Ranking(self.table, np.asarray(scores, dtype=float))
+
+    def centroid(self, attribute_names: Sequence[str], k: float | None = None) -> np.ndarray:
+        """Centroid of the fairness attributes, over everyone or over the top-k."""
+        source = self.table if k is None else self.selected(k)
+        return source.centroid(list(attribute_names))
+
+
+def rank_table(table: Table, score_function: ScoreFunction) -> Ranking:
+    """Score ``table`` with ``score_function`` and return the resulting ranking."""
+    return Ranking(table, score_function.scores(table))

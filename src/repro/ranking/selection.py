@@ -1,0 +1,85 @@
+"""Top-k% selection: turning scores into a selected / unselected partition.
+
+The paper's ranking process ``R`` "selects the k% best objects with the
+highest f(o) values".  These helpers implement that selection carefully:
+
+* ``k`` is a *percentage* of the population expressed as a fraction in
+  (0, 1]; the number of selected objects is ``ceil(k * n)`` so that a
+  non-empty selection is always produced for positive ``k``.
+* Ties at the selection boundary are broken deterministically by original row
+  index, so repeated runs over the same table select the same objects.  This
+  matters for the COMPAS deciles where thousands of defendants share a score.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "selection_size",
+    "top_k_indices",
+    "selection_mask",
+    "selection_threshold",
+    "rank_positions",
+]
+
+
+def selection_size(num_objects: int, k: float) -> int:
+    """Number of objects selected when choosing the top ``k`` fraction.
+
+    ``k`` must lie in (0, 1].  The size is ``ceil(k * num_objects)`` capped at
+    ``num_objects``; for any positive ``k`` and non-empty population at least
+    one object is selected.
+    """
+    if not 0.0 < k <= 1.0:
+        raise ValueError(f"selection fraction k must be in (0, 1], got {k}")
+    if num_objects < 0:
+        raise ValueError(f"num_objects must be non-negative, got {num_objects}")
+    if num_objects == 0:
+        return 0
+    return min(num_objects, max(1, math.ceil(k * num_objects)))
+
+
+def rank_positions(scores: np.ndarray) -> np.ndarray:
+    """Return the 0-based rank of each object (0 = highest score).
+
+    Ties are broken by original index (earlier rows rank higher), making the
+    ranking a deterministic function of the score array.
+    """
+    scores = np.asarray(scores, dtype=float)
+    order = np.lexsort((np.arange(scores.shape[0]), -scores))
+    ranks = np.empty(scores.shape[0], dtype=np.int64)
+    ranks[order] = np.arange(scores.shape[0])
+    return ranks
+
+
+def top_k_indices(scores: np.ndarray, k: float) -> np.ndarray:
+    """Indices of the top ``k`` fraction of objects, ordered best-first."""
+    scores = np.asarray(scores, dtype=float)
+    size = selection_size(scores.shape[0], k)
+    order = np.lexsort((np.arange(scores.shape[0]), -scores))
+    return order[:size]
+
+
+def selection_mask(scores: np.ndarray, k: float) -> np.ndarray:
+    """Boolean mask that is True for objects in the top ``k`` fraction."""
+    scores = np.asarray(scores, dtype=float)
+    mask = np.zeros(scores.shape[0], dtype=bool)
+    mask[top_k_indices(scores, k)] = True
+    return mask
+
+
+def selection_threshold(scores: np.ndarray, k: float) -> float:
+    """Score of the last selected object (the admission cut-off).
+
+    Publishing this threshold is part of the transparency story of the paper:
+    together with the bonus-point vector it lets applicants predict whether
+    they would have been selected.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.shape[0] == 0:
+        raise ValueError("cannot compute a selection threshold over zero objects")
+    indices = top_k_indices(scores, k)
+    return float(scores[indices[-1]])

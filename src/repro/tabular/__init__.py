@@ -1,0 +1,45 @@
+"""Lightweight columnar-table substrate (pandas replacement) for the reproduction.
+
+Public API::
+
+    from repro.tabular import Table, read_csv, write_csv
+"""
+
+from .column import (
+    BooleanColumn,
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+    column_from_values,
+)
+from .errors import (
+    ColumnLengthError,
+    ColumnTypeError,
+    CSVFormatError,
+    DuplicateColumnError,
+    EmptySelectionError,
+    MissingColumnError,
+    SchemaMismatchError,
+    TabularError,
+)
+from .io import read_csv, write_csv
+from .table import Table
+
+__all__ = [
+    "Table",
+    "Column",
+    "NumericColumn",
+    "BooleanColumn",
+    "CategoricalColumn",
+    "column_from_values",
+    "read_csv",
+    "write_csv",
+    "TabularError",
+    "ColumnTypeError",
+    "ColumnLengthError",
+    "MissingColumnError",
+    "DuplicateColumnError",
+    "EmptySelectionError",
+    "SchemaMismatchError",
+    "CSVFormatError",
+]

@@ -1,0 +1,298 @@
+"""Typed column wrappers used by :class:`repro.tabular.Table`.
+
+A column is a one-dimensional numpy array plus a small amount of metadata.
+Three kinds of columns are supported, mirroring the attribute types the paper
+works with:
+
+``NumericColumn``
+    Continuous or integer-valued attributes (GPA, test scores, ENI, decile
+    scores, ranking-function scores).
+
+``BooleanColumn``
+    Binary fairness attributes (low-income, English-language-learner,
+    special-education, per-race indicator columns).
+
+``CategoricalColumn``
+    String-labelled attributes (race, district).  Stored as integer codes with
+    a lookup table of categories, so tables stay purely numeric inside.
+
+Columns are immutable from the caller's perspective: every transforming
+operation returns a new column.  The underlying arrays are never exposed for
+in-place mutation (``values`` returns a read-only view), which keeps
+:class:`~repro.tabular.table.Table` cheap to copy and safe to share between
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ColumnTypeError
+
+__all__ = [
+    "Column",
+    "NumericColumn",
+    "BooleanColumn",
+    "CategoricalColumn",
+    "column_from_values",
+]
+
+
+class Column:
+    """Base class for all column types.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional array-like holding the column contents.
+    name:
+        Optional column name; the owning table overrides this with the key it
+        stores the column under.
+    """
+
+    #: numpy dtype kind characters accepted by the subclass.
+    _accepted_kinds: tuple[str, ...] = ()
+
+    def __init__(self, values: Iterable, name: str = "") -> None:
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise ColumnTypeError(
+                f"columns must be one-dimensional, got shape {array.shape}"
+            )
+        array = self._coerce(array)
+        array.setflags(write=False)
+        self._values = array
+        self.name = name
+
+    # -- subclass hooks ----------------------------------------------------
+    def _coerce(self, array: np.ndarray) -> np.ndarray:
+        """Validate/convert the raw array; subclasses override."""
+        return array
+
+    # -- basic protocol ----------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the underlying numpy array."""
+        return self._values
+
+    def __len__(self) -> int:
+        return int(self._values.shape[0])
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __getitem__(self, index):
+        result = self._values[index]
+        if np.isscalar(result) or result.ndim == 0:
+            return result
+        return self._with_values(result)
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - trivial
+        if not isinstance(other, Column):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and len(self) == len(other)
+            and bool(np.array_equal(self._values, other._values))
+        )
+
+    def __repr__(self) -> str:
+        preview = np.array2string(self._values[:6], separator=", ")
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"{type(self).__name__}(name={self.name!r}, n={len(self)}, values={preview}{suffix})"
+
+    # -- transformations ----------------------------------------------------
+    def _with_values(self, values: np.ndarray) -> "Column":
+        clone = type(self).__new__(type(self))
+        values = np.asarray(values)
+        values.setflags(write=False)
+        clone._values = values
+        clone.name = self.name
+        return clone
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Return a new column with the rows at ``indices`` (in that order)."""
+        return self._with_values(self._values[np.asarray(indices)])
+
+    def mask(self, boolean_mask: np.ndarray) -> "Column":
+        """Return a new column with only the rows where ``boolean_mask`` is True."""
+        mask = np.asarray(boolean_mask, dtype=bool)
+        return self._with_values(self._values[mask])
+
+    def concat(self, other: "Column") -> "Column":
+        """Concatenate two columns of the same type."""
+        if type(self) is not type(other):
+            raise ColumnTypeError(
+                f"cannot concatenate {type(self).__name__} with {type(other).__name__}"
+            )
+        return self._with_values(np.concatenate([self._values, other._values]))
+
+    # -- conversions ---------------------------------------------------------
+    def to_numeric(self) -> np.ndarray:
+        """Return the column as a float array (categoricals return their codes)."""
+        return self._values.astype(float)
+
+    def to_list(self) -> list:
+        return self._values.tolist()
+
+    # -- summaries -----------------------------------------------------------
+    def mean(self) -> float:
+        return float(np.mean(self.to_numeric()))
+
+    def min(self) -> float:
+        return float(np.min(self.to_numeric()))
+
+    def max(self) -> float:
+        return float(np.max(self.to_numeric()))
+
+    def std(self) -> float:
+        return float(np.std(self.to_numeric()))
+
+
+class NumericColumn(Column):
+    """Continuous or integer-valued column stored as ``float64`` or int."""
+
+    _accepted_kinds = ("f", "i", "u")
+
+    def _coerce(self, array: np.ndarray) -> np.ndarray:
+        if array.dtype.kind == "b":
+            return array.astype(np.int64)
+        if array.dtype.kind not in self._accepted_kinds:
+            try:
+                return array.astype(np.float64)
+            except (TypeError, ValueError) as exc:
+                raise ColumnTypeError(
+                    f"cannot build a numeric column from dtype {array.dtype}"
+                ) from exc
+        if array.dtype.kind == "f" and array.dtype != np.float64:
+            return array.astype(np.float64)
+        return array
+
+    def normalized(self) -> "NumericColumn":
+        """Return the column min-max normalized into [0, 1].
+
+        Constant columns normalize to all zeros rather than dividing by zero.
+        """
+        values = self.to_numeric()
+        low, high = float(values.min()), float(values.max())
+        if high == low:
+            return NumericColumn(np.zeros_like(values), name=self.name)
+        return NumericColumn((values - low) / (high - low), name=self.name)
+
+
+class BooleanColumn(Column):
+    """Binary {0, 1} column used for most fairness attributes."""
+
+    _accepted_kinds = ("b",)
+
+    def _coerce(self, array: np.ndarray) -> np.ndarray:
+        if array.dtype.kind == "b":
+            return array
+        numeric = array.astype(np.float64)
+        unique = np.unique(numeric)
+        if not np.all(np.isin(unique, (0.0, 1.0))):
+            raise ColumnTypeError(
+                "boolean columns may only contain 0/1 or True/False values; "
+                f"got values {unique[:10]}"
+            )
+        return numeric.astype(bool)
+
+    def to_numeric(self) -> np.ndarray:
+        return self._values.astype(float)
+
+    def rate(self) -> float:
+        """Proportion of True rows (the group's prevalence)."""
+        return float(self._values.mean()) if len(self) else 0.0
+
+
+class CategoricalColumn(Column):
+    """String-labelled column stored as integer codes plus a category list."""
+
+    def __init__(self, values: Iterable, name: str = "", categories: Sequence[str] | None = None) -> None:
+        raw = np.asarray(list(values), dtype=object)
+        if raw.ndim != 1:
+            raise ColumnTypeError("categorical columns must be one-dimensional")
+        labels = np.asarray([str(v) for v in raw], dtype=object)
+        if categories is None:
+            cats = tuple(sorted(set(labels.tolist())))
+        else:
+            cats = tuple(str(c) for c in categories)
+            unknown = set(labels.tolist()) - set(cats)
+            if unknown:
+                raise ColumnTypeError(
+                    f"values {sorted(unknown)} are not in the provided categories {list(cats)}"
+                )
+        index = {c: i for i, c in enumerate(cats)}
+        codes = np.asarray([index[v] for v in labels], dtype=np.int64)
+        codes.setflags(write=False)
+        self._values = codes
+        self._categories = cats
+        self.name = name
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        return self._categories
+
+    @property
+    def labels(self) -> np.ndarray:
+        """The string labels for each row (reconstructed from codes)."""
+        lookup = np.asarray(self._categories, dtype=object)
+        return lookup[self._values]
+
+    def _with_values(self, values: np.ndarray) -> "CategoricalColumn":
+        clone = CategoricalColumn.__new__(CategoricalColumn)
+        values = np.asarray(values, dtype=np.int64)
+        values.setflags(write=False)
+        clone._values = values
+        clone._categories = self._categories
+        clone.name = self.name
+        return clone
+
+    def concat(self, other: "Column") -> "CategoricalColumn":
+        if not isinstance(other, CategoricalColumn):
+            raise ColumnTypeError("can only concatenate categorical with categorical")
+        if other._categories == self._categories:
+            return self._with_values(np.concatenate([self._values, other._values]))
+        merged = CategoricalColumn(
+            np.concatenate([self.labels, other.labels]), name=self.name
+        )
+        return merged
+
+    def indicator(self, category: str) -> BooleanColumn:
+        """Return a 0/1 column that is 1 for rows equal to ``category``."""
+        if category not in self._categories:
+            raise ColumnTypeError(
+                f"category {category!r} not among {list(self._categories)}"
+            )
+        code = self._categories.index(category)
+        return BooleanColumn(self._values == code, name=f"{self.name}={category}")
+
+    def one_hot(self) -> dict[str, BooleanColumn]:
+        """Return one indicator column per category, keyed by category label."""
+        return {category: self.indicator(category) for category in self._categories}
+
+    def value_counts(self) -> dict[str, int]:
+        counts = np.bincount(self._values, minlength=len(self._categories))
+        return {c: int(n) for c, n in zip(self._categories, counts)}
+
+
+def column_from_values(values: Iterable, name: str = "") -> Column:
+    """Build the most specific column type that fits ``values``.
+
+    Strings become :class:`CategoricalColumn`; exact {0,1}/bool data becomes
+    :class:`BooleanColumn`; everything numeric becomes :class:`NumericColumn`.
+    """
+    if isinstance(values, Column):
+        return values
+    array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+    if array.dtype.kind in ("U", "S", "O"):
+        return CategoricalColumn(array, name=name)
+    if array.dtype.kind == "b":
+        return BooleanColumn(array, name=name)
+    numeric = array.astype(np.float64)
+    unique = np.unique(numeric)
+    if unique.size <= 2 and np.all(np.isin(unique, (0.0, 1.0))):
+        return BooleanColumn(numeric, name=name)
+    return NumericColumn(array, name=name)

@@ -1,0 +1,49 @@
+"""Exceptions raised by the :mod:`repro.tabular` substrate.
+
+The tabular layer is a small, dependency-free replacement for the subset of
+pandas functionality that the paper's algorithms need (column access,
+filtering, sorting, sampling, and CSV round-trips).  All of its errors derive
+from :class:`TabularError` so callers can catch substrate problems with a
+single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class TabularError(Exception):
+    """Base class for all errors raised by :mod:`repro.tabular`."""
+
+
+class ColumnTypeError(TabularError):
+    """A column was constructed from, or coerced to, an unsupported dtype."""
+
+
+class ColumnLengthError(TabularError):
+    """Columns of mismatched lengths were combined into one table."""
+
+
+class MissingColumnError(TabularError, KeyError):
+    """A requested column name is not present in the table."""
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"column {name!r} not found; available columns: {list(available)}"
+        )
+
+
+class DuplicateColumnError(TabularError):
+    """The same column name was supplied more than once."""
+
+
+class EmptySelectionError(TabularError):
+    """An operation that requires at least one row received an empty table."""
+
+
+class SchemaMismatchError(TabularError):
+    """Two tables with incompatible schemas were combined."""
+
+
+class CSVFormatError(TabularError):
+    """A CSV file could not be parsed into a table."""

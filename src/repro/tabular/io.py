@@ -1,0 +1,87 @@
+"""CSV reading and writing for :class:`repro.tabular.Table`.
+
+The experiments ship synthetic datasets that users may want to inspect or
+archive; these helpers provide a dependency-free round-trip to CSV with a
+small amount of type inference (numbers become numeric columns, 0/1 columns
+become boolean, everything else becomes categorical).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from .column import CategoricalColumn
+from .errors import CSVFormatError
+from .table import Table
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def _parse_cell(text: str) -> object:
+    """Parse one CSV cell into int, float, or string."""
+    stripped = text.strip()
+    if stripped == "":
+        raise CSVFormatError("empty cells are not supported (no missing-value handling)")
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        return stripped
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a CSV file with a header row into a :class:`Table`.
+
+    Column types are inferred per column: if every cell parses as a number the
+    column is numeric (and boolean if the values are exactly 0/1), otherwise
+    the column is categorical.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise CSVFormatError(f"{path} is empty") from None
+        rows = list(reader)
+    if not header or any(not name.strip() for name in header):
+        raise CSVFormatError(f"{path} has a missing or blank column name in its header")
+    columns: dict[str, list] = {name.strip(): [] for name in header}
+    names = list(columns.keys())
+    for line_number, row in enumerate(rows, start=2):
+        if len(row) != len(names):
+            raise CSVFormatError(
+                f"{path}:{line_number} has {len(row)} cells, expected {len(names)}"
+            )
+        for name, cell in zip(names, row):
+            columns[name].append(_parse_cell(cell))
+    typed: dict[str, list] = {}
+    for name, values in columns.items():
+        if any(isinstance(v, str) for v in values):
+            typed[name] = [str(v) for v in values]
+        else:
+            typed[name] = values
+    return Table(typed)
+
+
+def write_csv(table: Table, path: str | Path, columns: Sequence[str] | None = None) -> None:
+    """Write ``table`` to ``path`` as CSV with a header row."""
+    path = Path(path)
+    names = list(columns) if columns is not None else list(table.column_names)
+    data = {}
+    for name in names:
+        column = table.column(name)
+        if isinstance(column, CategoricalColumn):
+            data[name] = column.labels.tolist()
+        else:
+            data[name] = column.to_list()
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(table.num_rows):
+            writer.writerow([data[name][i] for name in names])

@@ -1,0 +1,91 @@
+"""Unit tests for the standalone Adam optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Adam
+
+
+class TestAdamValidation:
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=0.0)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            Adam(epsilon=0.0)
+
+    def test_shape_mismatch(self):
+        adam = Adam()
+        with pytest.raises(ValueError):
+            adam.step(np.zeros(3), np.zeros(2))
+
+    def test_dimensionality_change_between_steps(self):
+        adam = Adam()
+        adam.step(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError):
+            adam.step(np.zeros(3), np.ones(3))
+
+
+class TestAdamBehaviour:
+    def test_first_step_moves_against_gradient(self):
+        adam = Adam(learning_rate=0.1)
+        updated = adam.step(np.array([1.0, 1.0]), np.array([1.0, -1.0]))
+        assert updated[0] < 1.0
+        assert updated[1] > 1.0
+
+    def test_first_step_size_is_learning_rate(self):
+        # With bias correction, the very first Adam step has magnitude ≈ lr.
+        adam = Adam(learning_rate=0.25)
+        updated = adam.step(np.zeros(1), np.array([3.0]))
+        assert updated[0] == pytest.approx(-0.25, rel=1e-6)
+
+    def test_does_not_mutate_inputs(self):
+        adam = Adam()
+        parameters = np.array([1.0, 2.0])
+        gradient = np.array([0.5, 0.5])
+        adam.step(parameters, gradient)
+        assert parameters.tolist() == [1.0, 2.0]
+        assert gradient.tolist() == [0.5, 0.5]
+
+    def test_step_count_increments(self):
+        adam = Adam()
+        adam.step(np.zeros(1), np.ones(1))
+        adam.step(np.zeros(1), np.ones(1))
+        assert adam.step_count == 2
+
+    def test_reset_clears_state(self):
+        adam = Adam()
+        adam.step(np.zeros(1), np.ones(1))
+        adam.reset()
+        assert adam.step_count == 0
+        # After reset the dimensionality can change without error.
+        adam.step(np.zeros(3), np.ones(3))
+
+    def test_converges_on_quadratic(self):
+        """Adam should minimize f(x) = ||x - target||^2 reasonably quickly."""
+        adam = Adam(learning_rate=0.2)
+        target = np.array([3.0, -2.0])
+        x = np.zeros(2)
+        for _ in range(500):
+            gradient = 2.0 * (x - target)
+            x = adam.step(x, gradient)
+        assert np.allclose(x, target, atol=0.05)
+
+    def test_per_parameter_adaptivity(self):
+        """A parameter with a consistently larger gradient should not dominate."""
+        adam = Adam(learning_rate=0.1)
+        x = np.array([0.0, 0.0])
+        for _ in range(50):
+            x = adam.step(x, np.array([100.0, 1.0]))
+        # Adam normalizes by the gradient magnitude, so both coordinates move
+        # by roughly the same amount despite the 100x gradient difference.
+        assert abs(x[0]) == pytest.approx(abs(x[1]), rel=0.15)

@@ -1,0 +1,153 @@
+"""Unit tests for repro.core.calibration and repro.core.result."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BonusVector,
+    DCAResult,
+    DisparityObjective,
+    proportion_for_disparity,
+    proportion_for_utility,
+    proportion_sweep,
+)
+from repro.core.result import DCATrace
+from repro.ranking import ColumnScore
+from repro.tabular import Table
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = np.random.default_rng(21)
+    n = 3000
+    protected = (rng.uniform(size=n) < 0.3).astype(float)
+    score = rng.normal(10.0, 2.0, size=n) - 2.0 * protected
+    table = Table({"score": score, "protected": protected})
+    bonus = BonusVector({"protected": 2.0})
+    return table, ColumnScore("score"), bonus
+
+
+class TestProportionSweep:
+    def test_endpoints(self, population):
+        table, function, bonus = population
+        points = proportion_sweep(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2,
+            proportions=[0.0, 1.0], granularity=0.0,
+        )
+        assert points[0].proportion == 0.0
+        assert points[0].ndcg == pytest.approx(1.0)
+        assert points[-1].disparity_norm < points[0].disparity_norm
+
+    def test_monotone_trend(self, population):
+        table, function, bonus = population
+        points = proportion_sweep(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2,
+            proportions=[0.0, 0.5, 1.0], granularity=0.0,
+        )
+        norms = [p.disparity_norm for p in points]
+        assert norms[0] >= norms[1] >= norms[2]
+        ndcgs = [p.ndcg for p in points]
+        assert ndcgs[0] >= ndcgs[1] >= ndcgs[2]
+
+    def test_default_grid_has_eleven_points(self, population):
+        table, function, bonus = population
+        points = proportion_sweep(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2
+        )
+        assert len(points) == 11
+
+    def test_rounding_applied_to_scaled_bonus(self, population):
+        table, function, bonus = population
+        points = proportion_sweep(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2,
+            proportions=[0.3], granularity=0.5,
+        )
+        assert points[0].bonus["protected"] == pytest.approx(0.5)
+
+
+class TestBinarySearches:
+    def test_proportion_for_utility_threshold_respected(self, population):
+        table, function, bonus = population
+        point = proportion_for_utility(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2,
+            min_ndcg=0.99, granularity=0.0,
+        )
+        assert point.ndcg >= 0.99
+
+    def test_proportion_for_utility_accepts_full_bonus_when_cheap(self, population):
+        table, function, bonus = population
+        point = proportion_for_utility(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2,
+            min_ndcg=0.5, granularity=0.0,
+        )
+        assert point.proportion == pytest.approx(1.0)
+
+    def test_proportion_for_utility_validates_threshold(self, population):
+        table, function, bonus = population
+        with pytest.raises(ValueError):
+            proportion_for_utility(
+                table, function, bonus, DisparityObjective(["protected"]), 0.2, min_ndcg=1.5
+            )
+
+    def test_proportion_for_disparity_reaches_target(self, population):
+        table, function, bonus = population
+        full = proportion_sweep(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2,
+            proportions=[1.0], granularity=0.0,
+        )[0]
+        target = full.disparity_norm * 2.0
+        point = proportion_for_disparity(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2,
+            max_disparity_norm=target, granularity=0.0,
+        )
+        assert point.disparity_norm <= target + 1e-6
+
+    def test_proportion_for_disparity_zero_needed(self, population):
+        table, function, bonus = population
+        baseline = proportion_sweep(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2,
+            proportions=[0.0], granularity=0.0,
+        )[0]
+        point = proportion_for_disparity(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2,
+            max_disparity_norm=baseline.disparity_norm + 1.0, granularity=0.0,
+        )
+        assert point.proportion == pytest.approx(0.0)
+
+    def test_proportion_for_disparity_unreachable_target(self, population):
+        table, function, bonus = population
+        point = proportion_for_disparity(
+            table, function, bonus, DisparityObjective(["protected"]), 0.2,
+            max_disparity_norm=0.0, granularity=0.0,
+        )
+        assert point.proportion == pytest.approx(1.0)
+
+    def test_negative_target_rejected(self, population):
+        table, function, bonus = population
+        with pytest.raises(ValueError):
+            proportion_for_disparity(
+                table, function, bonus, DisparityObjective(["protected"]), 0.2,
+                max_disparity_norm=-0.1,
+            )
+
+
+class TestResultObjects:
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            DCATrace("p", np.zeros((3,)), np.zeros(3))
+        with pytest.raises(ValueError):
+            DCATrace("p", np.zeros((3, 2)), np.zeros(4))
+
+    def test_trace_final_norm(self):
+        trace = DCATrace("p", np.zeros((2, 1)), np.array([0.5, 0.25]))
+        assert trace.final_norm == 0.25
+        assert trace.iterations == 2
+
+    def test_result_as_dict_and_summary(self):
+        bonus = BonusVector({"a": 1.0})
+        result = DCAResult(bonus=bonus, raw_bonus=bonus, core_bonus=bonus, sample_size=10)
+        assert result.as_dict() == {"a": 1.0}
+        assert "sample_size=10" in result.summary()
+        assert result.attribute_names == ("a",)

@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.sampling and repro.core.config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DCAConfig, SampleStream, rarest_group_frequency, recommended_sample_size
+from repro.tabular import Table
+
+
+class TestRarestGroupFrequency:
+    def test_picks_the_rarest_binary_group(self):
+        table = Table({"common": [1] * 50 + [0] * 50, "rare": [1] * 10 + [0] * 90})
+        assert rarest_group_frequency(table, ["common", "rare"]) == pytest.approx(0.1)
+
+    def test_ignores_continuous_attributes(self):
+        table = Table({"eni": np.linspace(0, 1, 100), "flag": [1] * 30 + [0] * 70})
+        assert rarest_group_frequency(table, ["eni", "flag"]) == pytest.approx(0.3)
+
+    def test_all_continuous_returns_one(self):
+        table = Table({"eni": np.linspace(0, 1, 50)})
+        assert rarest_group_frequency(table, ["eni"]) == 1.0
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            rarest_group_frequency(Table({"x": []}), ["x"])
+
+    def test_all_ones_group_not_rarest(self):
+        table = Table({"always": [1] * 20, "rare": [1] * 2 + [0] * 18})
+        assert rarest_group_frequency(table, ["always", "rare"]) == pytest.approx(0.1)
+
+
+class TestRecommendedSampleSize:
+    def test_rule_follows_selection_fraction(self):
+        # k = 1% needs 30 / 0.01 = 3000 rows.
+        assert recommended_sample_size(0.01, 1.0) == 3000
+
+    def test_rule_follows_rarest_group(self):
+        # r = 10% needs 30 / 0.1 = 300 rows (k is not binding).
+        assert recommended_sample_size(0.5, 0.1) == 300
+
+    def test_maximum_of_both(self):
+        assert recommended_sample_size(0.05, 0.1) == max(30 / 0.05, 30 / 0.1)
+
+    def test_floor_applies(self):
+        assert recommended_sample_size(0.9, 0.9, minimum=250) == 250
+
+    def test_cap_applies(self):
+        assert recommended_sample_size(0.001, 0.5, maximum=5000) == 5000
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            recommended_sample_size(0.0, 0.5)
+        with pytest.raises(ValueError):
+            recommended_sample_size(0.5, 0.0)
+        with pytest.raises(ValueError):
+            recommended_sample_size(0.5, 0.5, min_group_count=0)
+
+    def test_paper_setting_scale(self):
+        """The paper's setting (k=5%, rarest group 10%) needs a few hundred rows."""
+        size = recommended_sample_size(0.05, 0.1)
+        assert 300 <= size <= 700
+
+
+class TestSampleStream:
+    def test_draw_size(self, rng):
+        table = Table({"x": np.arange(100.0)})
+        stream = SampleStream(table, 10, rng=rng)
+        assert stream.draw().num_rows == 10
+
+    def test_sample_size_capped_at_table_size(self, rng):
+        table = Table({"x": np.arange(5.0)})
+        stream = SampleStream(table, 50, rng=rng)
+        assert stream.draw() is table
+
+    def test_iteration_protocol(self, rng):
+        table = Table({"x": np.arange(50.0)})
+        stream = iter(SampleStream(table, 5, rng=rng))
+        assert next(stream).num_rows == 5
+
+    def test_draws_differ(self):
+        table = Table({"x": np.arange(1000.0)})
+        stream = SampleStream(table, 20, rng=np.random.default_rng(0))
+        first = stream.draw().numeric("x")
+        second = stream.draw().numeric("x")
+        assert not np.array_equal(first, second)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            SampleStream(Table({"x": []}), 5, rng=rng)
+        with pytest.raises(ValueError):
+            SampleStream(Table({"x": [1.0]}), 0, rng=rng)
+
+
+class TestDCAConfig:
+    def test_defaults_are_valid(self):
+        DCAConfig().validate()
+
+    def test_learning_rates_must_decrease(self):
+        with pytest.raises(ValueError):
+            DCAConfig(learning_rates=(0.1, 1.0)).validate()
+
+    def test_learning_rates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DCAConfig(learning_rates=(1.0, -0.1)).validate()
+
+    def test_learning_rates_required(self):
+        with pytest.raises(ValueError):
+            DCAConfig(learning_rates=()).validate()
+
+    def test_iterations_positive(self):
+        with pytest.raises(ValueError):
+            DCAConfig(iterations=0).validate()
+
+    def test_negative_refinement_rejected(self):
+        with pytest.raises(ValueError):
+            DCAConfig(refinement_iterations=-1).validate()
+
+    def test_granularity_non_negative(self):
+        with pytest.raises(ValueError):
+            DCAConfig(granularity=-0.5).validate()
+
+    def test_max_bonus_above_min(self):
+        with pytest.raises(ValueError):
+            DCAConfig(min_bonus=5.0, max_bonus=1.0).validate()
+
+    def test_sample_size_positive_when_given(self):
+        with pytest.raises(ValueError):
+            DCAConfig(sample_size=0).validate()
+
+    def test_without_refinement_copy(self):
+        config = DCAConfig(seed=3, max_bonus=20.0)
+        stripped = config.without_refinement()
+        assert stripped.refinement_iterations == 0
+        assert stripped.seed == 3
+        assert stripped.max_bonus == 20.0
+        assert config.refinement_iterations > 0  # original untouched

@@ -1,0 +1,210 @@
+"""Tests for the experiment harness, settings, experiment modules, and CLI.
+
+The experiment modules are exercised at reduced scale (small synthetic
+cohorts, short k grids) — the goal here is to verify that every paper
+artefact can be regenerated and that the headline qualitative findings hold,
+not to re-run the full-scale benchmarks (that is what ``benchmarks/`` does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clear_dataset_cache
+from repro.experiments import (
+    DEFAULT_K,
+    EXPERIMENT_RUNNERS,
+    CompasSetting,
+    ExperimentResult,
+    SchoolSetting,
+    format_table,
+)
+from repro.experiments import (
+    exposure_ddp,
+    fig1_ndcg,
+    fig2_fig3_proportion,
+    fig4_vary_k,
+    fig5_caps,
+    fig6_quota,
+    fig7_delta2,
+    fig8_refinement,
+    fig9_disparate_impact,
+    fig10_compas,
+    table1,
+    table2,
+)
+from repro.experiments.cli import main as cli_main
+from repro.experiments.harness import get_experiment, register_experiment
+
+SMALL = 8_000  # cohort size used for experiment smoke tests
+SHORT_SWEEP = (0.05, 0.2, 0.5)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_dataset_cache()
+    yield
+    clear_dataset_cache()
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 22.5, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_experiment_result_accessors(self):
+        result = ExperimentResult("x", "desc")
+        result.add_table("t", [{"a": 1}])
+        result.add_note("note")
+        assert result.table("t") == [{"a": 1}]
+        with pytest.raises(KeyError):
+            result.table("missing")
+        formatted = result.format()
+        assert "x" in formatted and "note" in formatted
+
+    def test_register_and_get_experiment(self):
+        register_experiment("dummy", lambda: ExperimentResult("dummy", ""))
+        assert get_experiment("dummy")().name == "dummy"
+        with pytest.raises(KeyError):
+            get_experiment("never-registered")
+        with pytest.raises(ValueError):
+            register_experiment("", lambda: None)
+
+    def test_runner_registry_covers_all_paper_artifacts(self):
+        expected = {"table1", "table2", "fig1", "fig2_fig3", "fig4", "fig5", "fig6",
+                    "fig7", "fig8", "fig9", "fig10", "exposure_ddp", "ablations"}
+        assert expected.issubset(set(EXPERIMENT_RUNNERS))
+
+
+class TestSettings:
+    def test_school_setting_caches_scores(self):
+        setting = SchoolSetting(num_students=SMALL)
+        first = setting.base_scores("train")
+        second = setting.base_scores("train")
+        assert first is second
+        with pytest.raises(ValueError):
+            setting.cohort("validation")
+
+    def test_compas_setting_basics(self):
+        setting = CompasSetting(num_defendants=2_000)
+        assert setting.table.num_rows == 2_000
+        assert setting.base_scores().shape == (2_000,)
+
+
+class TestSchoolExperiments:
+    def test_table1_shape_holds(self):
+        result = table1.run(num_students=SMALL)
+        baseline = result.table("baseline disparity")
+        dca_rows = result.table("DCA (with refinement)")
+        assert baseline[0]["norm"] > 0.25
+        # Last two rows are train/test disparities after compensation.
+        assert dca_rows[1]["norm"] < baseline[0]["norm"] / 3
+        assert dca_rows[2]["norm"] < baseline[1]["norm"] / 3
+
+    def test_fig1_ndcg_stays_high(self):
+        result = fig1_ndcg.run(num_students=SMALL, k_values=SHORT_SWEEP)
+        rows = result.table("fig 1: nDCG@k")
+        assert len(rows) == len(SHORT_SWEEP)
+        assert all(row["ndcg"] > 0.8 for row in rows)
+
+    def test_fig2_fig3_tradeoff_monotone_ends(self):
+        result = fig2_fig3_proportion.run(
+            num_students=SMALL, proportions=[0.0, 0.5, 1.0]
+        )
+        fig2 = result.table("fig 2: nDCG and disparity norm vs proportion")
+        assert fig2[0]["ndcg"] == pytest.approx(1.0)
+        assert fig2[-1]["disparity_norm"] < fig2[0]["disparity_norm"]
+        fig3 = result.table("fig 3: per-attribute disparity vs proportion")
+        assert set(fig3[0]) >= {"proportion", "low_income", "ell", "special_ed", "norm"}
+
+    def test_fig4_regimes_ordered_as_expected(self):
+        result = fig4_vary_k.run(num_students=SMALL, k_values=SHORT_SWEEP, assumed_k=0.05)
+        per_k = {row["k"]: row["norm"] for row in result.table("fig 4a: k known in advance")}
+        baseline = {row["k"]: row["norm"] for row in result.table("baseline (no bonus)")}
+        for k in SHORT_SWEEP:
+            assert per_k[k] < baseline[k]
+        fixed = {row["k"]: row["norm"] for row in result.table("fig 4b: bonus optimized for k=5%")}
+        assert fixed[0.05] < baseline[0.05] / 2
+
+    def test_fig5_larger_caps_reduce_disparity(self):
+        result = fig5_caps.run(num_students=SMALL, caps=(0.0, 5.0, 20.0), max_k=0.3)
+        rows = result.table("fig 5: discounted disparity vs max bonus")
+        assert rows[0]["norm"] > rows[-1]["norm"]
+
+    def test_fig6_quota_helps_but_less_than_dca(self):
+        quota = fig6_quota.run(num_students=SMALL, k_values=(0.05,))
+        quota_norm = quota.table("fig 6: quota-system disparity")[0]["norm"]
+        dca = table1.run(num_students=SMALL)
+        dca_norm = dca.table("DCA (with refinement)")[2]["norm"]
+        baseline_norm = dca.table("baseline disparity")[1]["norm"]
+        assert quota_norm < baseline_norm
+        assert dca_norm < quota_norm
+
+    def test_fig7_delta2_comparable_to_dca(self):
+        result = fig7_delta2.run(num_students=SMALL, proportions=[1.0])
+        rows = result.table("fig 7: DCA vs (Δ+2)")
+        by_method = {row["method"]: row for row in rows}
+        assert by_method["(Δ+2)"]["disparity_norm"] <= by_method["DCA"]["disparity_norm"] + 0.1
+        assert by_method["(Δ+2)"]["ndcg"] > 0.8
+
+    def test_fig8_refinement_not_worse(self):
+        result = fig8_refinement.run(
+            num_students=SMALL, k_values=(0.05, 0.3), use_rule_based_sample_size=False
+        )
+        rows = result.table("fig 8a: disparity with and without refinement")
+        unrefined = [r["norm"] for r in rows if r["series"].startswith("Core")]
+        refined = [r["norm"] for r in rows if r["series"].startswith("DCA")]
+        assert np.mean(refined) <= np.mean(unrefined) + 0.02
+        timings = result.table("fig 8b: runtime with and without refinement")
+        assert all(row["refined_seconds"] >= row["unrefined_seconds"] * 0.5 for row in timings)
+
+    def test_fig9_both_objectives_reduce_both_metrics(self):
+        result = fig9_disparate_impact.run(num_students=SMALL, k_values=(0.05, 0.3))
+        rows = result.table("fig 9: disparity vs disparate impact optimization")
+        assert {row["series"] for row in rows} == {"disparity-driven", "DI-driven"}
+        assert all(row["disparity_norm"] < 0.35 for row in rows)
+
+    def test_table2_dca_beats_multinomial_fair(self):
+        setting_result = table2.run(num_students=30_000, district=20)
+        rows = {row["method"]: row for row in setting_result.table("table II")}
+        assert rows["DCA"]["norm"] < rows["Baseline"]["norm"]
+        assert rows["Multinomial FA*IR"]["norm"] < rows["Baseline"]["norm"]
+        assert rows["DCA"]["norm"] <= rows["Multinomial FA*IR"]["norm"] + 0.05
+
+    def test_exposure_ddp_reduced(self):
+        result = exposure_ddp.run(num_students=SMALL, max_k=0.3)
+        rows = result.table("DDP before/after")
+        assert rows[1]["ddp"] < rows[0]["ddp"]
+
+
+class TestCompasExperiment:
+    def test_fig10_disparity_and_fpr_improve(self):
+        result = fig10_compas.run(num_defendants=3_000, k_values=(0.2, 0.4))
+        baseline = {row["k"]: row["norm"] for row in result.table("baseline disparity")}
+        per_k = {row["k"]: row["norm"] for row in result.table("fig 10a: disparity with per-k bonuses")}
+        assert all(per_k[k] < baseline[k] for k in (0.2, 0.4))
+        log_rows = result.table("fig 10c: disparity with one log-discounted bonus vector")
+        assert any(row["norm"] < baseline[row["k"]] for row in log_rows)
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig10" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert cli_main(["run", "nope"]) == 2
+
+    def test_run_experiment_to_file(self, tmp_path, capsys):
+        output = tmp_path / "result.txt"
+        code = cli_main(["run", "fig6", "--num-students", str(SMALL), "--output", str(output)])
+        assert code == 0
+        assert "quota" in output.read_text()

@@ -1,0 +1,112 @@
+"""Integration tests: the COMPAS pipeline (black-box decile ranking + DCA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCA,
+    DCAConfig,
+    DisparityCalculator,
+    FalsePositiveRateObjective,
+    LogDiscountedDisparityObjective,
+)
+from repro.datasets import (
+    COMPAS_RACE_ATTRIBUTES,
+    compas_release_ranking_function,
+    race_attribute_name,
+)
+from repro.metrics import equalized_odds_gap, group_false_positive_rates
+
+
+@pytest.fixture(scope="module")
+def compas_config():
+    return DCAConfig(
+        learning_rates=(1.0, 0.1),
+        iterations=60,
+        refinement_iterations=80,
+        averaging_window=60,
+        sample_size=800,
+        seed=31,
+    )
+
+
+class TestCompasDisparityCompensation:
+    def test_disparity_reduced_for_major_groups(self, compas_dataset, compas_config):
+        table = compas_dataset.table
+        ranking = compas_release_ranking_function()
+        base = ranking.scores(table)
+        calculator = DisparityCalculator(COMPAS_RACE_ATTRIBUTES).fit(table)
+        k = 0.2
+        before = calculator.disparity(table, base, k)
+
+        dca = DCA(COMPAS_RACE_ATTRIBUTES, ranking, k=k, config=compas_config)
+        fitted = dca.fit(table)
+        after = calculator.disparity(table, fitted.bonus.apply(table, base), k)
+
+        aa = race_attribute_name("African-American")
+        white = race_attribute_name("Caucasian")
+        assert abs(after[aa]) < abs(before[aa])
+        assert abs(after[white]) < abs(before[white])
+        assert after.norm < before.norm
+
+    def test_bonuses_are_small_on_decile_scale(self, compas_dataset, compas_config):
+        """Decile scores span 1..10, so the fitted bonuses should be a few points at most."""
+        table = compas_dataset.table
+        ranking = compas_release_ranking_function()
+        dca = DCA(COMPAS_RACE_ATTRIBUTES, ranking, k=0.2, config=compas_config)
+        fitted = dca.fit(table)
+        assert max(fitted.as_dict().values()) <= 10.0
+
+    def test_log_discounted_single_vector(self, compas_dataset, compas_config):
+        table = compas_dataset.table
+        ranking = compas_release_ranking_function()
+        base = ranking.scores(table)
+        calculator = DisparityCalculator(COMPAS_RACE_ATTRIBUTES).fit(table)
+        objective = LogDiscountedDisparityObjective(COMPAS_RACE_ATTRIBUTES)
+        dca = DCA(COMPAS_RACE_ATTRIBUTES, ranking, k=0.5, objective=objective, config=compas_config)
+        fitted = dca.fit(table)
+        compensated = fitted.bonus.apply(table, base)
+        improved = 0
+        for k in (0.1, 0.2, 0.3, 0.4, 0.5):
+            before = calculator.disparity(table, base, k).norm
+            after = calculator.disparity(table, compensated, k).norm
+            if after < before:
+                improved += 1
+        # The coarse deciles cause steps, but most k values must improve.
+        assert improved >= 4
+
+
+class TestCompasFalsePositiveRates:
+    def test_fpr_gap_narrows(self, compas_dataset, compas_config):
+        table = compas_dataset.table
+        ranking = compas_release_ranking_function()
+        base = ranking.scores(table)
+        k = 0.2
+        objective = FalsePositiveRateObjective(COMPAS_RACE_ATTRIBUTES, "two_year_recid")
+        dca = DCA(COMPAS_RACE_ATTRIBUTES, ranking, k=k, objective=objective, config=compas_config)
+        fitted = dca.fit(table)
+        compensated = fitted.bonus.apply(table, base)
+
+        aa = race_attribute_name("African-American")
+        white = race_attribute_name("Caucasian")
+        before = group_false_positive_rates(table, base, (aa, white), "two_year_recid", k)
+        after = group_false_positive_rates(table, compensated, (aa, white), "two_year_recid", k)
+        assert abs(after[aa] - after[white]) < abs(before[aa] - before[white])
+
+    def test_equalized_odds_gap_reduced_for_major_groups(self, compas_dataset, compas_config):
+        table = compas_dataset.table
+        ranking = compas_release_ranking_function()
+        base = ranking.scores(table)
+        k = 0.25
+        major = (race_attribute_name("African-American"), race_attribute_name("Caucasian"),
+                 race_attribute_name("Hispanic"))
+        objective = FalsePositiveRateObjective(COMPAS_RACE_ATTRIBUTES, "two_year_recid")
+        config = compas_config
+        dca = DCA(COMPAS_RACE_ATTRIBUTES, ranking, k=k, objective=objective, config=config)
+        fitted = dca.fit(table)
+        compensated = fitted.bonus.apply(table, base)
+        before = equalized_odds_gap(table, base, major, "two_year_recid", k)
+        after = equalized_odds_gap(table, compensated, major, "two_year_recid", k)
+        assert after <= before + 0.02

@@ -1,0 +1,96 @@
+"""Integration tests: the full school-admissions pipeline end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import quota_selection
+from repro.core import (
+    DCA,
+    DCAConfig,
+    DisparityCalculator,
+    LogDiscountedDisparityObjective,
+)
+from repro.metrics import ndcg_at_k, parity_report
+from repro.ranking import selection_mask
+
+
+@pytest.fixture(scope="module")
+def fitted(school_cohorts, rubric, school_attributes, fast_dca_config):
+    train, test = school_cohorts
+    dca = DCA(school_attributes, rubric, k=0.05, config=fast_dca_config)
+    return dca.fit(train.table)
+
+
+class TestTrainTestGeneralization:
+    def test_training_disparity_nearly_eliminated(self, school_cohorts, rubric, school_attributes, fitted):
+        train, _ = school_cohorts
+        calculator = DisparityCalculator(school_attributes).fit(train.table)
+        scores = fitted.bonus.apply(train.table, rubric.scores(train.table))
+        after = calculator.disparity(train.table, scores, 0.05)
+        assert after.norm < 0.12
+
+    def test_bonus_points_generalize_to_next_year(self, school_cohorts, rubric, school_attributes, fitted):
+        _, test = school_cohorts
+        calculator = DisparityCalculator(school_attributes).fit(test.table)
+        base = rubric.scores(test.table)
+        before = calculator.disparity(test.table, base, 0.05)
+        after = calculator.disparity(test.table, fitted.bonus.apply(test.table, base), 0.05)
+        assert after.norm < before.norm / 3
+
+    def test_utility_stays_high(self, school_cohorts, rubric, fitted):
+        _, test = school_cohorts
+        base = rubric.scores(test.table)
+        compensated = fitted.bonus.apply(test.table, base)
+        assert ndcg_at_k(base, compensated, 0.05) > 0.85
+
+    def test_bonus_magnitudes_reasonable(self, fitted):
+        # On a 100-point rubric the paper's bonuses are between 1 and ~20 points.
+        for name, value in fitted.as_dict().items():
+            assert 0.0 <= value <= 40.0
+
+    def test_selected_set_more_representative(self, school_cohorts, rubric, school_attributes, fitted):
+        _, test = school_cohorts
+        base = rubric.scores(test.table)
+        compensated = fitted.bonus.apply(test.table, base)
+        before = parity_report(test.table, base, ["low_income", "ell", "special_ed"], 0.05)
+        after = parity_report(test.table, compensated, ["low_income", "ell", "special_ed"], 0.05)
+        for attribute in ("low_income", "ell", "special_ed"):
+            assert abs(after[attribute]["gap"]) < abs(before[attribute]["gap"])
+
+
+class TestAgainstQuotaBaseline:
+    def test_dca_beats_single_quota_overall(self, school_cohorts, rubric, school_attributes, fitted):
+        _, test = school_cohorts
+        base = rubric.scores(test.table)
+        calculator = DisparityCalculator(school_attributes).fit(test.table)
+        quota_mask = quota_selection(test.table, base, 0.05, "low_income")
+        quota_norm = calculator.disparity_from_mask(test.table, quota_mask).norm
+        dca_norm = calculator.disparity(
+            test.table, fitted.bonus.apply(test.table, base), 0.05
+        ).norm
+        assert dca_norm < quota_norm
+
+
+class TestLogDiscountedMode:
+    def test_single_vector_works_across_k(self, school_cohorts, rubric, school_attributes, fast_dca_config):
+        train, test = school_cohorts
+        objective = LogDiscountedDisparityObjective(school_attributes)
+        dca = DCA(school_attributes, rubric, k=0.5, objective=objective, config=fast_dca_config)
+        fitted = dca.fit(train.table)
+        calculator = DisparityCalculator(school_attributes).fit(test.table)
+        base = rubric.scores(test.table)
+        compensated = fitted.bonus.apply(test.table, base)
+        for k in (0.1, 0.25, 0.5):
+            before = calculator.disparity(test.table, base, k).norm
+            after = calculator.disparity(test.table, compensated, k).norm
+            assert after < before
+
+    def test_selection_size_changes_with_bonus(self, school_cohorts, rubric, fitted):
+        """Bonus points change who is selected, not how many are selected."""
+        _, test = school_cohorts
+        base = rubric.scores(test.table)
+        compensated = fitted.bonus.apply(test.table, base)
+        assert selection_mask(base, 0.05).sum() == selection_mask(compensated, 0.05).sum()
+        assert not np.array_equal(selection_mask(base, 0.05), selection_mask(compensated, 0.05))

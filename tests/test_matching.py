@@ -1,0 +1,156 @@
+"""Tests for the deferred-acceptance matching substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matching import deferred_acceptance, generate_student_preferences
+
+
+class TestDeferredAcceptance:
+    def test_simple_one_school(self):
+        match = deferred_acceptance(
+            student_preferences=[[0], [0], [0]],
+            school_rankings=[[3.0, 2.0, 1.0]],
+            capacities=[2],
+        )
+        assert match.roster(0) == (0, 1)
+        assert match.assignment.tolist() == [0, 0, -1]
+        assert match.num_unmatched == 1
+
+    def test_students_get_best_feasible_school(self):
+        # Both students prefer school 0, which has one seat and prefers student 1.
+        match = deferred_acceptance(
+            student_preferences=[[0, 1], [0, 1]],
+            school_rankings=[[1.0, 2.0], [1.0, 2.0]],
+            capacities=[1, 1],
+        )
+        assert match.assignment.tolist() == [1, 0]
+
+    def test_stability_no_blocking_pair(self):
+        """Verify stability on a random instance: no student/school pair both
+        prefer each other to their match."""
+        rng = np.random.default_rng(4)
+        num_students, num_schools = 60, 5
+        preferences = generate_student_preferences(num_students, num_schools, list_length=5, rng=rng)
+        rankings = [list(rng.uniform(size=num_students)) for _ in range(num_schools)]
+        capacities = [8] * num_schools
+        match = deferred_acceptance(preferences, rankings, capacities)
+
+        def prefers(student: int, school: int) -> bool:
+            assigned = match.assignment[student]
+            prefs = preferences[student]
+            if school not in prefs:
+                return False
+            if assigned < 0:
+                return True
+            return prefs.index(school) < prefs.index(assigned)
+
+        for student in range(num_students):
+            for school in range(num_schools):
+                if not prefers(student, school):
+                    continue
+                roster = match.roster(school)
+                if len(roster) < capacities[school]:
+                    pytest.fail(f"blocking pair: student {student}, school {school} has free seats")
+                weakest = min(roster, key=lambda s: rankings[school][s])
+                assert rankings[school][student] <= rankings[school][weakest], (
+                    f"blocking pair: student {student} preferred by school {school}"
+                )
+
+    def test_respects_capacities(self):
+        rng = np.random.default_rng(1)
+        preferences = generate_student_preferences(50, 3, list_length=3, rng=rng)
+        rankings = [list(rng.uniform(size=50)) for _ in range(3)]
+        match = deferred_acceptance(preferences, rankings, [5, 7, 9])
+        assert len(match.roster(0)) <= 5
+        assert len(match.roster(1)) <= 7
+        assert len(match.roster(2)) <= 9
+
+    def test_rosters_sorted_by_school_preference(self):
+        match = deferred_acceptance(
+            student_preferences=[[0], [0], [0]],
+            school_rankings=[[1.0, 3.0, 2.0]],
+            capacities=[3],
+        )
+        assert match.roster(0) == (1, 2, 0)
+
+    def test_mapping_rankings_mark_unacceptable_students(self):
+        # Student 1 is not in school 0's ranking and can never be admitted there.
+        match = deferred_acceptance(
+            student_preferences=[[0], [0]],
+            school_rankings=[{0: 1.0}],
+            capacities=[2],
+        )
+        assert match.assignment.tolist() == [0, -1]
+
+    def test_zero_capacity_school(self):
+        match = deferred_acceptance(
+            student_preferences=[[0, 1]],
+            school_rankings=[[1.0], [1.0]],
+            capacities=[0, 1],
+        )
+        assert match.assignment.tolist() == [1]
+
+    def test_empty_preference_list_student_unmatched(self):
+        match = deferred_acceptance(
+            student_preferences=[[], [0]],
+            school_rankings=[[1.0, 2.0]],
+            capacities=[1],
+        )
+        assert match.assignment.tolist() == [-1, 0]
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            deferred_acceptance([[0]], [[1.0]], [1, 2])  # rankings/capacities mismatch
+        with pytest.raises(ValueError):
+            deferred_acceptance([[5]], [[1.0]], [1])  # unknown school
+        with pytest.raises(ValueError):
+            deferred_acceptance([[0]], [[1.0]], [-1])  # negative capacity
+
+    def test_higher_ranked_student_displaces_lower(self):
+        # Student 2 applies last but is the school's favourite.
+        match = deferred_acceptance(
+            student_preferences=[[0], [0], [0]],
+            school_rankings=[[2.0, 1.0, 3.0]],
+            capacities=[2],
+        )
+        assert set(match.roster(0)) == {0, 2}
+
+    def test_proposals_counted(self):
+        match = deferred_acceptance(
+            student_preferences=[[0], [0]],
+            school_rankings=[[1.0, 2.0]],
+            capacities=[1],
+        )
+        assert match.proposals_made >= 2
+
+
+class TestPreferenceGeneration:
+    def test_shapes_and_validity(self, rng):
+        preferences = generate_student_preferences(20, 6, list_length=3, rng=rng)
+        assert len(preferences) == 20
+        for prefs in preferences:
+            assert len(prefs) == 3
+            assert len(set(prefs)) == 3
+            assert all(0 <= school < 6 for school in prefs)
+
+    def test_list_length_capped_at_num_schools(self, rng):
+        preferences = generate_student_preferences(5, 2, list_length=10, rng=rng)
+        assert all(len(prefs) == 2 for prefs in preferences)
+
+    def test_popular_school_listed_first_more_often(self):
+        rng = np.random.default_rng(0)
+        preferences = generate_student_preferences(
+            2_000, 5, list_length=1, popularity_spread=2.0, rng=rng
+        )
+        firsts = np.array([prefs[0] for prefs in preferences])
+        counts = np.bincount(firsts, minlength=5)
+        assert counts.max() > 2 * counts.min()
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            generate_student_preferences(0, 5, rng=rng)
+        with pytest.raises(ValueError):
+            generate_student_preferences(5, 5, list_length=0, rng=rng)

@@ -1,0 +1,229 @@
+"""Unit tests for the fairness and utility metrics (repro.metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    average_group_exposure,
+    dcg,
+    ddp,
+    disparate_impact,
+    disparate_impact_by_attribute,
+    equalized_odds_gap,
+    false_negative_rate,
+    false_positive_rate,
+    fpr_gaps,
+    group_exposure,
+    group_false_positive_rates,
+    ndcg_at_k,
+    ndcg_curve,
+    parity_report,
+    position_values,
+    representation,
+    representation_gap,
+    selection_rate,
+    selection_rates,
+)
+from repro.tabular import Table
+
+
+class TestNDCG:
+    def test_unchanged_ranking_scores_one(self):
+        scores = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert ndcg_at_k(scores, scores, 0.4) == pytest.approx(1.0)
+
+    def test_any_reranking_at_most_one(self, rng):
+        base = rng.normal(size=200)
+        perturbed = base + rng.normal(scale=0.5, size=200)
+        assert ndcg_at_k(base, perturbed, 0.1) <= 1.0 + 1e-9
+
+    def test_worst_case_is_low(self):
+        base = np.arange(100, dtype=float)
+        reversed_scores = -base
+        assert ndcg_at_k(base, reversed_scores, 0.1) < 0.5
+
+    def test_small_perturbation_high_ndcg(self, rng):
+        base = np.sort(rng.normal(size=500))[::-1].copy()
+        assert ndcg_at_k(base, base + rng.normal(scale=0.01, size=500), 0.1) > 0.95
+
+    def test_shift_invariance_of_gains(self):
+        base = np.array([3.0, 2.0, 1.0, 0.0])
+        new = np.array([0.0, 1.0, 2.0, 3.0])
+        assert ndcg_at_k(base, new, 0.5) == pytest.approx(
+            ndcg_at_k(base + 100.0, new, 0.5)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.zeros(3), np.zeros(4), 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.array([]), np.array([]), 0.5)
+
+    def test_constant_gains_give_one(self):
+        base = np.ones(10)
+        new = np.arange(10, dtype=float)
+        assert ndcg_at_k(base, new, 0.5) == pytest.approx(1.0)
+
+    def test_dcg_of_empty_sequence(self):
+        assert dcg(np.array([])) == 0.0
+
+    def test_dcg_discounts_positions(self):
+        front_loaded = dcg(np.array([2.0, 1.0]))
+        back_loaded = dcg(np.array([1.0, 2.0]))
+        assert front_loaded > back_loaded
+
+    def test_curve_keys(self):
+        base = np.arange(50, dtype=float)
+        curve = ndcg_curve(base, base, (0.1, 0.2))
+        assert set(curve) == {0.1, 0.2}
+        assert all(v == pytest.approx(1.0) for v in curve.values())
+
+
+class TestExposure:
+    def test_position_values_decreasing(self):
+        values = position_values(10)
+        assert values[0] == pytest.approx(1.0)
+        assert np.all(np.diff(values) < 0)
+
+    def test_position_values_invalid(self):
+        with pytest.raises(ValueError):
+            position_values(0)
+
+    def test_group_exposure_sum(self):
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        membership = np.array([True, False, True, False])
+        expected = 1.0 / np.log2(1 + 1) + 1.0 / np.log2(3 + 1)
+        assert group_exposure(scores, membership) == pytest.approx(expected)
+
+    def test_group_exposure_shape_check(self):
+        with pytest.raises(ValueError):
+            group_exposure(np.zeros(3), np.zeros(4, dtype=bool))
+
+    def test_average_group_exposure_empty_group(self):
+        with pytest.raises(ValueError):
+            average_group_exposure(np.array([1.0]), np.array([False]))
+
+    def test_ddp_zero_for_symmetric_groups(self):
+        table = Table({"a": [1, 0, 1, 0], "b": [0, 1, 0, 1]})
+        scores = np.array([4.0, 4.0, 2.0, 2.0])
+        # Group a occupies ranks {1, 3}, group b ranks {2, 4}; small but nonzero gap.
+        value = ddp(table, scores, ["a", "b"])
+        assert value >= 0.0
+
+    def test_ddp_detects_unbalanced_ranking(self):
+        table = Table({"top": [1, 1, 0, 0], "bottom": [0, 0, 1, 1]})
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        assert ddp(table, scores, ["top", "bottom"]) > 0.1
+
+    def test_ddp_needs_two_groups(self):
+        table = Table({"a": [1, 0]})
+        with pytest.raises(ValueError):
+            ddp(table, np.array([1.0, 0.0]), ["a"])
+
+    def test_ddp_skips_empty_groups(self):
+        table = Table({"a": [1, 0], "b": [0, 1], "c": [0, 0]})
+        value = ddp(table, np.array([2.0, 1.0]), ["a", "b", "c"])
+        assert value >= 0.0
+
+
+class TestDisparateImpact:
+    def test_equal_rates_give_one(self):
+        membership = np.array([True, True, False, False])
+        selected = np.array([True, False, True, False])
+        assert disparate_impact(membership, selected) == pytest.approx(1.0)
+
+    def test_ratio_value(self):
+        membership = np.array([True] * 4 + [False] * 4)
+        selected = np.array([True, False, False, False, True, True, False, False])
+        assert disparate_impact(membership, selected) == pytest.approx(0.5)
+
+    def test_no_one_selected_is_parity(self):
+        membership = np.array([True, False])
+        selected = np.array([False, False])
+        assert disparate_impact(membership, selected) == 1.0
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            disparate_impact(np.array([True, True]), np.array([True, False]))
+
+    def test_selection_rates(self):
+        membership = np.array([True, True, False, False])
+        selected = np.array([True, False, True, True])
+        assert selection_rates(membership, selected) == (0.5, 1.0)
+
+    def test_by_attribute_handles_degenerate_groups(self):
+        table = Table({"all_ones": [1, 1, 1], "mixed": [1, 0, 1]})
+        scores = np.array([3.0, 2.0, 1.0])
+        values = disparate_impact_by_attribute(table, scores, ["all_ones", "mixed"], 0.34)
+        assert values["all_ones"] == 1.0
+        assert 0.0 <= values["mixed"] <= 1.0
+
+
+class TestErrorRates:
+    def test_fpr_definition(self):
+        # 4 actual negatives, 2 of them flagged (not selected) -> FPR 0.5.
+        selected = np.array([True, False, True, False, True])
+        labels = np.array([False, False, False, False, True])
+        assert false_positive_rate(selected, labels) == pytest.approx(0.5)
+
+    def test_fpr_no_negatives(self):
+        assert false_positive_rate(np.array([True]), np.array([True])) == 0.0
+
+    def test_fnr_definition(self):
+        # 2 actual positives, 1 selected (not flagged) -> FNR 0.5.
+        selected = np.array([True, False, False])
+        labels = np.array([True, True, False])
+        assert false_negative_rate(selected, labels) == pytest.approx(0.5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(np.array([True]), np.array([True, False]))
+
+    def test_group_rates_and_gaps(self):
+        table = Table(
+            {
+                "g1": [1, 1, 0, 0],
+                "g2": [0, 0, 1, 1],
+                "outcome": [0, 0, 0, 0],
+            }
+        )
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        rates = group_false_positive_rates(table, scores, ["g1", "g2"], "outcome", 0.5)
+        assert rates["g1"] == pytest.approx(0.0)
+        assert rates["g2"] == pytest.approx(1.0)
+        gaps = fpr_gaps(table, scores, ["g1", "g2"], "outcome", 0.5)
+        assert gaps["g2"] > 0 > gaps["g1"]
+        assert equalized_odds_gap(table, scores, ["g1", "g2"], "outcome", 0.5) == pytest.approx(0.5)
+
+    def test_group_without_negatives(self):
+        table = Table({"g": [1, 1, 0], "outcome": [1, 1, 0]})
+        rates = group_false_positive_rates(table, np.array([3.0, 2.0, 1.0]), ["g"], "outcome", 0.34)
+        assert rates["g"] == 0.0
+
+
+class TestParityHelpers:
+    def test_selection_rate(self):
+        membership = np.array([True, True, False])
+        selected = np.array([True, False, True])
+        assert selection_rate(membership, selected) == pytest.approx(0.5)
+
+    def test_selection_rate_empty_group(self):
+        assert selection_rate(np.array([False, False]), np.array([True, False])) == 0.0
+
+    def test_representation_and_gap(self, toy_table):
+        scores = toy_table.numeric("score")
+        population, selected = representation(toy_table, scores, "protected", 0.3)
+        assert population == pytest.approx(0.5)
+        assert selected == pytest.approx(0.0)
+        assert representation_gap(toy_table, scores, "protected", 0.3) == pytest.approx(-0.5)
+
+    def test_parity_report_structure(self, toy_table):
+        report = parity_report(toy_table, toy_table.numeric("score"), ["protected"], 0.3)
+        assert set(report["protected"]) == {"population", "selected", "gap"}
+        assert report["protected"]["gap"] == pytest.approx(
+            report["protected"]["selected"] - report["protected"]["population"]
+        )

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import BonusVector, DisparityCalculator
+from repro.metrics import dcg, ndcg_at_k
+from repro.ranking import rank_positions, selection_mask, selection_size, top_k_indices
+from repro.tabular import Table
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+scores_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=120),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+
+k_fractions = st.floats(min_value=0.01, max_value=1.0)
+
+
+@st.composite
+def score_and_binary_attribute(draw):
+    """Scores plus a binary attribute with at least one member in each group."""
+    n = draw(st.integers(min_value=4, max_value=150))
+    scores = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=n,
+            elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False),
+        )
+    )
+    flags = draw(hnp.arrays(dtype=np.int64, shape=n, elements=st.integers(0, 1)))
+    if flags.sum() == 0:
+        flags[0] = 1
+    if flags.sum() == n:
+        flags[-1] = 0
+    return scores, flags
+
+
+# ----------------------------------------------------------------------
+# selection invariants
+# ----------------------------------------------------------------------
+class TestSelectionProperties:
+    @given(scores=scores_arrays, k=k_fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_selection_size_matches_mask(self, scores, k):
+        mask = selection_mask(scores, k)
+        assert mask.sum() == selection_size(scores.shape[0], k)
+
+    @given(scores=scores_arrays, k=k_fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_selected_scores_dominate_unselected(self, scores, k):
+        mask = selection_mask(scores, k)
+        if mask.all():
+            return
+        assert scores[mask].min() >= scores[~mask].max() - 1e-9
+
+    @given(scores=scores_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_positions_are_a_permutation(self, scores):
+        ranks = rank_positions(scores)
+        assert sorted(ranks.tolist()) == list(range(scores.shape[0]))
+
+    @given(scores=scores_arrays, k=k_fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_top_k_indices_sorted_by_score(self, scores, k):
+        indices = top_k_indices(scores, k)
+        selected_scores = scores[indices]
+        assert np.all(np.diff(selected_scores) <= 1e-9)
+
+    @given(
+        scores=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=2, max_value=120),
+            elements=st.integers(min_value=-1000, max_value=1000).map(float),
+        ),
+        k=k_fractions,
+        shift=st.integers(min_value=-100, max_value=100).map(float),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selection_invariant_to_score_shift(self, scores, k, shift):
+        # Integer-valued scores avoid floating-point precision artefacts at
+        # the selection boundary (a denormal score plus a shift can collapse
+        # onto a tie and legitimately change the tie-break).
+        assert np.array_equal(selection_mask(scores, k), selection_mask(scores + shift, k))
+
+
+# ----------------------------------------------------------------------
+# disparity invariants
+# ----------------------------------------------------------------------
+class TestDisparityProperties:
+    @given(data=score_and_binary_attribute(), k=k_fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_disparity_bounded(self, data, k):
+        scores, flags = data
+        table = Table({"flag": flags})
+        calculator = DisparityCalculator(["flag"]).fit(table)
+        value = calculator.disparity(table, scores, k)["flag"]
+        assert -1.0 <= value <= 1.0
+
+    @given(data=score_and_binary_attribute())
+    @settings(max_examples=60, deadline=None)
+    def test_full_selection_has_zero_disparity(self, data):
+        scores, flags = data
+        table = Table({"flag": flags})
+        calculator = DisparityCalculator(["flag"]).fit(table)
+        assert calculator.disparity(table, scores, 1.0)["flag"] == pytest.approx(0.0)
+
+    @given(data=score_and_binary_attribute(), k=k_fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_disparity_equals_share_difference(self, data, k):
+        """For a binary attribute the disparity is exactly (selected share - population share)."""
+        scores, flags = data
+        table = Table({"flag": flags})
+        calculator = DisparityCalculator(["flag"]).fit(table)
+        mask = selection_mask(scores, k)
+        expected = flags[mask].mean() - flags.mean()
+        assert calculator.disparity(table, scores, k)["flag"] == pytest.approx(expected)
+
+    @given(data=score_and_binary_attribute(), k=st.floats(0.05, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_large_enough_bonus_flips_disparity_sign_or_zero(self, data, k):
+        """Giving the protected group an overwhelming bonus makes its disparity
+        non-negative (the group fills the selection as far as it can)."""
+        scores, flags = data
+        table = Table({"flag": flags})
+        calculator = DisparityCalculator(["flag"]).fit(table)
+        span = float(scores.max() - scores.min()) + 1.0
+        bonus = BonusVector({"flag": 10.0 * span})
+        boosted = bonus.apply(table, scores)
+        assert calculator.disparity(table, boosted, k)["flag"] >= -1e-9
+
+
+# ----------------------------------------------------------------------
+# bonus vector invariants
+# ----------------------------------------------------------------------
+bonus_values = st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=1, max_size=5)
+
+
+class TestBonusProperties:
+    @given(values=bonus_values, proportion=st.floats(0.0, 2.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_scaling_is_linear(self, values, proportion):
+        names = [f"a{i}" for i in range(len(values))]
+        bonus = BonusVector(dict(zip(names, values)))
+        scaled = bonus.scaled(proportion)
+        assert scaled.values == pytest.approx(bonus.values * proportion)
+
+    @given(values=bonus_values, granularity=st.sampled_from([0.1, 0.25, 0.5, 1.0]))
+    @settings(max_examples=80, deadline=None)
+    def test_rounding_lands_on_grid_and_is_close(self, values, granularity):
+        names = [f"a{i}" for i in range(len(values))]
+        bonus = BonusVector(dict(zip(names, values))).rounded(granularity)
+        for value in bonus.values:
+            assert value == pytest.approx(round(value / granularity) * granularity, abs=1e-9)
+        assert np.all(np.abs(bonus.values - np.asarray(values)) <= granularity / 2 + 1e-9)
+
+    @given(values=bonus_values, cap=st.floats(0.0, 20.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_clipping_respects_bounds(self, values, cap):
+        names = [f"a{i}" for i in range(len(values))]
+        clipped = BonusVector(dict(zip(names, values))).clipped(0.0, cap)
+        assert np.all(clipped.values >= 0.0)
+        assert np.all(clipped.values <= cap + 1e-12)
+
+    @given(data=score_and_binary_attribute(), points=st.floats(0.0, 100.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_bonus_never_hurts_group_members_scores(self, data, points):
+        scores, flags = data
+        table = Table({"flag": flags})
+        adjusted = BonusVector({"flag": points}).apply(table, scores)
+        assert np.all(adjusted >= scores - 1e-12)
+        assert np.all(adjusted[flags == 0] == scores[flags == 0])
+
+
+# ----------------------------------------------------------------------
+# utility metric invariants
+# ----------------------------------------------------------------------
+class TestNDCGProperties:
+    @given(scores=scores_arrays, k=k_fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_identity_reranking_is_one(self, scores, k):
+        assert ndcg_at_k(scores, scores.copy(), k) == pytest.approx(1.0)
+
+    @given(data=score_and_binary_attribute(), k=k_fractions, points=st.floats(0, 1e4))
+    @settings(max_examples=60, deadline=None)
+    def test_ndcg_bounded(self, data, k, points):
+        scores, flags = data
+        table = Table({"flag": flags})
+        adjusted = BonusVector({"flag": points}).apply(table, scores)
+        value = ndcg_at_k(scores, adjusted, k)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(gains=hnp.arrays(dtype=np.float64, shape=st.integers(1, 30),
+                            elements=st.floats(0, 100, allow_nan=False)))
+    @settings(max_examples=60, deadline=None)
+    def test_dcg_maximized_by_sorted_gains(self, gains):
+        assert dcg(np.sort(gains)[::-1]) >= dcg(gains) - 1e-9

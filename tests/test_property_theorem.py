@@ -1,0 +1,128 @@
+"""Property-based checks of the paper's Theorem 4.1 and sampling lemmas.
+
+Theorem 4.1: at every step of Full DCA, if swapping an unselected object p
+with a selected object q would reduce the overall disparity, the update gives
+p more additional bonus points than q.  Algebraically the claim reduces to
+``D · (F_p − F_q) < 0`` whenever the swap lowers the disparity norm — which is
+exactly what the property below verifies on random populations.
+
+Lemmas 4.2–4.5: sample centroids and sample disparities are unbiased, low
+error estimators of their population counterparts; verified statistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DisparityCalculator
+from repro.ranking import selection_mask
+from repro.tabular import Table
+
+
+@st.composite
+def population_with_two_attributes(draw):
+    n = draw(st.integers(min_value=12, max_value=80))
+    rng_seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(rng_seed)
+    a = (rng.uniform(size=n) < draw(st.floats(0.2, 0.8))).astype(float)
+    b = (rng.uniform(size=n) < draw(st.floats(0.2, 0.8))).astype(float)
+    scores = rng.normal(size=n) - draw(st.floats(0.0, 2.0)) * a - draw(st.floats(0.0, 2.0)) * b
+    return Table({"a": a, "b": b}), scores
+
+
+class TestTheorem41:
+    @given(data=population_with_two_attributes(), k=st.floats(0.1, 0.6))
+    @settings(max_examples=60, deadline=None)
+    def test_descent_direction_rewards_beneficial_swaps(self, data, k):
+        """If swapping q (selected) with p (unselected) lowers the disparity
+        norm, then the Full-DCA update direction gives p more points than q:
+        −D·F_p > −D·F_q, i.e. D·(F_p − F_q) < 0."""
+        table, scores = data
+        attributes = ("a", "b")
+        calculator = DisparityCalculator(attributes).fit(table)
+        mask = selection_mask(scores, k)
+        if mask.all() or not mask.any():
+            return
+        disparity = calculator.disparity(table, scores, k).vector
+        matrix = table.matrix(list(attributes))
+        selected_indices = np.flatnonzero(mask)
+        unselected_indices = np.flatnonzero(~mask)
+        s = len(selected_indices)
+        selected_centroid = matrix[mask].mean(axis=0)
+        population_centroid = matrix.mean(axis=0)
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            q = rng.choice(selected_indices)
+            p = rng.choice(unselected_indices)
+            swapped_centroid = selected_centroid + (matrix[p] - matrix[q]) / s
+            old_norm = np.linalg.norm(selected_centroid - population_centroid)
+            new_norm = np.linalg.norm(swapped_centroid - population_centroid)
+            if new_norm < old_norm - 1e-12:
+                assert float(disparity @ (matrix[p] - matrix[q])) < 1e-9
+
+    @given(data=population_with_two_attributes(), k=st.floats(0.1, 0.6),
+           learning_rate=st.floats(0.01, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_update_adds_more_points_to_underrepresented_groups(self, data, k, learning_rate):
+        """The Full-DCA step −L·D is non-negative exactly on the dimensions
+        whose disparity is non-positive (under-represented groups gain points)."""
+        table, scores = data
+        calculator = DisparityCalculator(("a", "b")).fit(table)
+        disparity = calculator.disparity(table, scores, k).vector
+        update = -learning_rate * disparity
+        for dimension in range(2):
+            if disparity[dimension] < 0:
+                assert update[dimension] > 0
+            elif disparity[dimension] > 0:
+                assert update[dimension] < 0
+
+
+class TestSamplingLemmas:
+    def test_sample_centroid_is_unbiased(self):
+        """Lemma 4.2: the sample centroid estimates the population centroid."""
+        rng = np.random.default_rng(7)
+        n = 50_000
+        flags = (rng.uniform(size=n) < 0.37).astype(float)
+        table = Table({"flag": flags})
+        population_mean = flags.mean()
+        estimates = []
+        for _ in range(200):
+            sample = table.sample(500, rng=rng)
+            estimates.append(sample.numeric("flag").mean())
+        estimates = np.asarray(estimates)
+        assert estimates.mean() == pytest.approx(population_mean, abs=0.01)
+        assert estimates.std() < 0.05
+
+    def test_sample_quantile_is_consistent(self):
+        """Lemma 4.3: the k-quantile of a sample tracks the population quantile."""
+        rng = np.random.default_rng(8)
+        population = rng.normal(size=100_000)
+        true_quantile = np.quantile(population, 0.95)
+        estimates = [
+            np.quantile(rng.choice(population, size=500, replace=False), 0.95)
+            for _ in range(200)
+        ]
+        assert np.mean(estimates) == pytest.approx(true_quantile, abs=0.05)
+
+    def test_sample_disparity_is_unbiased(self):
+        """Theorem 4.5: the sample disparity estimates the population disparity."""
+        rng = np.random.default_rng(9)
+        n = 40_000
+        flags = (rng.uniform(size=n) < 0.3).astype(float)
+        scores = rng.normal(size=n) - 1.0 * flags
+        table = Table({"flag": flags, "__score__": scores})
+        calculator = DisparityCalculator(["flag"]).fit(table)
+        population_value = calculator.disparity(table, scores, 0.1)["flag"]
+        estimates = []
+        for _ in range(150):
+            indices = rng.choice(n, size=600, replace=False)
+            sample = table.take(indices)
+            estimates.append(
+                calculator.disparity(sample, sample.numeric("__score__"), 0.1)["flag"]
+            )
+        estimates = np.asarray(estimates)
+        assert estimates.mean() == pytest.approx(population_value, abs=0.02)
+        assert estimates.std() < 0.08

@@ -1,0 +1,113 @@
+"""Unit tests for repro.ranking.functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ranking import (
+    ColumnScore,
+    CompositeScore,
+    NegatedColumnScore,
+    RankDerivedScore,
+    WeightedSumScore,
+)
+from repro.tabular import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "gpa": [4.0, 2.0, 3.0],
+            "test_scores": [300.0, 200.0, 250.0],
+            "decile": [1.0, 10.0, 5.0],
+        }
+    )
+
+
+class TestColumnScore:
+    def test_passthrough(self, table):
+        assert ColumnScore("gpa").scores(table).tolist() == [4.0, 2.0, 3.0]
+
+    def test_attribute_names(self):
+        assert ColumnScore("gpa").attribute_names == ("gpa",)
+
+    def test_callable_protocol(self, table):
+        assert ColumnScore("gpa")(table).tolist() == [4.0, 2.0, 3.0]
+
+    def test_score_range(self, table):
+        assert ColumnScore("gpa").score_range(table) == (2.0, 4.0)
+
+
+class TestNegatedColumnScore:
+    def test_lower_is_better(self, table):
+        scores = NegatedColumnScore("decile").scores(table)
+        # The defendant with decile 1 must rank best (largest score).
+        assert np.argmax(scores) == 0
+        assert np.argmin(scores) == 1
+
+
+class TestWeightedSumScore:
+    def test_requires_weights(self):
+        with pytest.raises(ValueError):
+            WeightedSumScore({})
+
+    def test_normalized_weighted_sum(self, table):
+        function = WeightedSumScore({"gpa": 0.5, "test_scores": 0.5}, scale=100.0)
+        scores = function.scores(table)
+        assert scores[0] == pytest.approx(100.0)  # best on both attributes
+        assert scores[1] == pytest.approx(0.0)  # worst on both attributes
+        assert 0.0 < scores[2] < 100.0
+
+    def test_unnormalized_sum(self, table):
+        function = WeightedSumScore({"gpa": 1.0}, normalize=False)
+        assert function.scores(table).tolist() == [4.0, 2.0, 3.0]
+
+    def test_constant_column_contributes_zero_when_normalized(self):
+        table = Table({"a": [1.0, 1.0], "b": [0.0, 1.0]})
+        function = WeightedSumScore({"a": 0.5, "b": 0.5})
+        assert function.scores(table).tolist() == [0.0, 0.5]
+
+    def test_weights_and_scale_exposed(self):
+        function = WeightedSumScore({"gpa": 0.55, "test_scores": 0.45}, scale=100.0)
+        assert function.weights == {"gpa": 0.55, "test_scores": 0.45}
+        assert function.scale == 100.0
+
+    def test_paper_rubric_ordering_matches_attributes(self, table):
+        function = WeightedSumScore({"gpa": 0.55, "test_scores": 0.45})
+        scores = function.scores(table)
+        assert scores[0] > scores[2] > scores[1]
+
+
+class TestRankDerivedScore:
+    def test_scores_follow_base_order(self, table):
+        base = ColumnScore("gpa")
+        derived = RankDerivedScore(base, scale=10.0)
+        scores = derived.scores(table)
+        assert np.argmax(scores) == 0
+        assert np.argmin(scores) == 1
+
+    def test_scores_are_evenly_spaced(self, table):
+        derived = RankDerivedScore(ColumnScore("gpa"), scale=3.0)
+        scores = np.sort(derived.scores(table))
+        spacing = np.diff(scores)
+        assert np.allclose(spacing, spacing[0])
+
+    def test_empty_table(self):
+        derived = RankDerivedScore(ColumnScore("x"))
+        assert derived.scores(Table({"x": []})).shape == (0,)
+
+
+class TestCompositeScore:
+    def test_sum_of_parts(self, table):
+        composite = CompositeScore([ColumnScore("gpa"), ColumnScore("gpa")])
+        assert composite.scores(table).tolist() == [8.0, 4.0, 6.0]
+
+    def test_attribute_names_deduplicated(self, table):
+        composite = CompositeScore([ColumnScore("gpa"), ColumnScore("gpa"), ColumnScore("decile")])
+        assert composite.attribute_names == ("gpa", "decile")
+
+    def test_requires_parts(self):
+        with pytest.raises(ValueError):
+            CompositeScore([])

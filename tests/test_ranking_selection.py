@@ -1,0 +1,126 @@
+"""Unit tests for repro.ranking.selection and repro.ranking.ranking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ranking import (
+    Ranking,
+    rank_positions,
+    rank_table,
+    selection_mask,
+    selection_size,
+    selection_threshold,
+    top_k_indices,
+    ColumnScore,
+)
+from repro.tabular import Table
+
+
+class TestSelectionSize:
+    def test_five_percent_of_hundred(self):
+        assert selection_size(100, 0.05) == 5
+
+    def test_rounds_up(self):
+        assert selection_size(10, 0.05) == 1
+        assert selection_size(101, 0.05) == 6
+
+    def test_full_selection(self):
+        assert selection_size(10, 1.0) == 10
+
+    def test_zero_objects(self):
+        assert selection_size(0, 0.5) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            selection_size(10, 0.0)
+        with pytest.raises(ValueError):
+            selection_size(10, 1.5)
+
+    def test_negative_population(self):
+        with pytest.raises(ValueError):
+            selection_size(-1, 0.5)
+
+    def test_at_least_one_selected(self):
+        assert selection_size(3, 0.01) == 1
+
+
+class TestRankPositions:
+    def test_simple_ordering(self):
+        ranks = rank_positions(np.array([1.0, 3.0, 2.0]))
+        assert ranks.tolist() == [2, 0, 1]
+
+    def test_ties_broken_by_index(self):
+        ranks = rank_positions(np.array([2.0, 2.0, 1.0]))
+        assert ranks.tolist() == [0, 1, 2]
+
+    def test_empty(self):
+        assert rank_positions(np.array([])).shape == (0,)
+
+
+class TestTopK:
+    def test_top_k_indices_order(self):
+        scores = np.array([5.0, 1.0, 3.0, 4.0])
+        assert top_k_indices(scores, 0.5).tolist() == [0, 3]
+
+    def test_selection_mask_count(self):
+        scores = np.arange(100, dtype=float)
+        mask = selection_mask(scores, 0.1)
+        assert mask.sum() == 10
+        assert mask[90:].all()
+
+    def test_threshold_is_last_selected_score(self):
+        scores = np.array([10.0, 9.0, 8.0, 7.0])
+        assert selection_threshold(scores, 0.5) == 9.0
+
+    def test_threshold_empty(self):
+        with pytest.raises(ValueError):
+            selection_threshold(np.array([]), 0.5)
+
+    def test_ties_at_boundary_deterministic(self):
+        scores = np.array([1.0, 1.0, 1.0, 1.0])
+        assert top_k_indices(scores, 0.5).tolist() == [0, 1]
+
+
+class TestRankingObject:
+    @pytest.fixture
+    def ranking(self):
+        table = Table({"score": [1.0, 4.0, 3.0, 2.0], "flag": [1, 0, 1, 0]})
+        return Ranking(table, table.numeric("score"))
+
+    def test_shape_validation(self):
+        table = Table({"x": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            Ranking(table, np.array([1.0]))
+
+    def test_ranks(self, ranking):
+        assert ranking.ranks.tolist() == [3, 0, 1, 2]
+
+    def test_order_and_sorted_table(self, ranking):
+        assert ranking.order().tolist() == [1, 2, 3, 0]
+        assert ranking.sorted_table().numeric("score").tolist() == [4.0, 3.0, 2.0, 1.0]
+
+    def test_selected_and_unselected_partition(self, ranking):
+        selected = ranking.selected(0.5)
+        unselected = ranking.unselected(0.5)
+        assert selected.num_rows + unselected.num_rows == ranking.num_objects
+        assert selected.numeric("score").tolist() == [4.0, 3.0]
+
+    def test_selected_mask_matches_size(self, ranking):
+        assert ranking.selected_mask(0.25).sum() == ranking.selection_size(0.25)
+
+    def test_with_scores_re_ranks(self, ranking):
+        reranked = ranking.with_scores(np.array([4.0, 3.0, 2.0, 1.0]))
+        assert reranked.order().tolist() == [0, 1, 2, 3]
+
+    def test_centroid_population_vs_selection(self, ranking):
+        population = ranking.centroid(["flag"])
+        selected = ranking.centroid(["flag"], k=0.5)
+        assert population[0] == pytest.approx(0.5)
+        assert selected[0] == pytest.approx(0.5)
+
+    def test_rank_table_helper(self):
+        table = Table({"x": [2.0, 1.0]})
+        ranking = rank_table(table, ColumnScore("x"))
+        assert ranking.order().tolist() == [0, 1]

@@ -1,0 +1,167 @@
+"""Unit tests for repro.tabular.column."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tabular import (
+    BooleanColumn,
+    CategoricalColumn,
+    ColumnTypeError,
+    NumericColumn,
+    column_from_values,
+)
+
+
+class TestNumericColumn:
+    def test_basic_construction(self):
+        column = NumericColumn([1.0, 2.0, 3.0], name="x")
+        assert len(column) == 3
+        assert column.name == "x"
+        assert column.mean() == pytest.approx(2.0)
+
+    def test_integer_input_preserved(self):
+        column = NumericColumn([1, 2, 3])
+        assert column.values.dtype.kind in ("i", "u")
+
+    def test_rejects_two_dimensional_input(self):
+        with pytest.raises(ColumnTypeError):
+            NumericColumn(np.ones((2, 2)))
+
+    def test_rejects_strings(self):
+        with pytest.raises(ColumnTypeError):
+            NumericColumn(["a", "b"])
+
+    def test_values_are_read_only(self):
+        column = NumericColumn([1.0, 2.0])
+        with pytest.raises(ValueError):
+            column.values[0] = 5.0
+
+    def test_take_and_mask(self):
+        column = NumericColumn([10.0, 20.0, 30.0, 40.0])
+        assert column.take([3, 0]).to_list() == [40.0, 10.0]
+        assert column.mask([True, False, True, False]).to_list() == [10.0, 30.0]
+
+    def test_concat(self):
+        a = NumericColumn([1.0, 2.0])
+        b = NumericColumn([3.0])
+        assert a.concat(b).to_list() == [1.0, 2.0, 3.0]
+
+    def test_concat_type_mismatch(self):
+        with pytest.raises(ColumnTypeError):
+            NumericColumn([1.0]).concat(BooleanColumn([1]))
+
+    def test_normalized_range(self):
+        column = NumericColumn([0.0, 5.0, 10.0])
+        normalized = column.normalized()
+        assert normalized.to_list() == [0.0, 0.5, 1.0]
+
+    def test_normalized_constant_column(self):
+        column = NumericColumn([3.0, 3.0, 3.0])
+        assert column.normalized().to_list() == [0.0, 0.0, 0.0]
+
+    def test_summary_statistics(self):
+        column = NumericColumn([1.0, 2.0, 3.0, 4.0])
+        assert column.min() == 1.0
+        assert column.max() == 4.0
+        assert column.std() == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_scalar_indexing(self):
+        column = NumericColumn([1.0, 2.0, 3.0])
+        assert column[1] == 2.0
+
+    def test_slice_indexing_returns_column(self):
+        column = NumericColumn([1.0, 2.0, 3.0])
+        assert column[1:].to_list() == [2.0, 3.0]
+
+
+class TestBooleanColumn:
+    def test_from_zero_one(self):
+        column = BooleanColumn([0, 1, 1, 0])
+        assert column.rate() == pytest.approx(0.5)
+
+    def test_from_bools(self):
+        column = BooleanColumn([True, False, True])
+        assert column.to_numeric().tolist() == [1.0, 0.0, 1.0]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ColumnTypeError):
+            BooleanColumn([0, 1, 2])
+
+    def test_rate_of_empty(self):
+        assert BooleanColumn([]).rate() == 0.0
+
+    def test_mean_matches_rate(self):
+        column = BooleanColumn([1, 0, 0, 0])
+        assert column.mean() == pytest.approx(column.rate())
+
+
+class TestCategoricalColumn:
+    def test_categories_sorted_and_coded(self):
+        column = CategoricalColumn(["b", "a", "b", "c"])
+        assert column.categories == ("a", "b", "c")
+        assert column.labels.tolist() == ["b", "a", "b", "c"]
+
+    def test_explicit_categories(self):
+        column = CategoricalColumn(["x", "y"], categories=["y", "x", "z"])
+        assert column.categories == ("y", "x", "z")
+
+    def test_unknown_value_with_explicit_categories(self):
+        with pytest.raises(ColumnTypeError):
+            CategoricalColumn(["a", "q"], categories=["a", "b"])
+
+    def test_indicator(self):
+        column = CategoricalColumn(["red", "blue", "red"], name="color")
+        indicator = column.indicator("red")
+        assert indicator.to_numeric().tolist() == [1.0, 0.0, 1.0]
+        assert indicator.name == "color=red"
+
+    def test_indicator_unknown_category(self):
+        with pytest.raises(ColumnTypeError):
+            CategoricalColumn(["red"]).indicator("green")
+
+    def test_one_hot_covers_all_categories(self):
+        column = CategoricalColumn(["a", "b", "a"])
+        one_hot = column.one_hot()
+        assert set(one_hot) == {"a", "b"}
+        assert one_hot["a"].to_numeric().tolist() == [1.0, 0.0, 1.0]
+
+    def test_value_counts(self):
+        column = CategoricalColumn(["a", "b", "a", "a"])
+        assert column.value_counts() == {"a": 3, "b": 1}
+
+    def test_take_preserves_categories(self):
+        column = CategoricalColumn(["a", "b", "c"])
+        taken = column.take([2, 0])
+        assert taken.labels.tolist() == ["c", "a"]
+        assert taken.categories == column.categories
+
+    def test_concat_merges_different_category_sets(self):
+        a = CategoricalColumn(["x", "y"])
+        b = CategoricalColumn(["z"])
+        merged = a.concat(b)
+        assert merged.labels.tolist() == ["x", "y", "z"]
+
+
+class TestColumnFromValues:
+    def test_strings_become_categorical(self):
+        assert isinstance(column_from_values(["a", "b"]), CategoricalColumn)
+
+    def test_zero_one_becomes_boolean(self):
+        assert isinstance(column_from_values([0, 1, 0]), BooleanColumn)
+
+    def test_general_numbers_become_numeric(self):
+        assert isinstance(column_from_values([0.5, 2.0]), NumericColumn)
+
+    def test_existing_column_passthrough(self):
+        column = NumericColumn([1.0])
+        assert column_from_values(column) is column
+
+    def test_bools_become_boolean(self):
+        assert isinstance(column_from_values([True, False]), BooleanColumn)
+
+    def test_all_zeros_is_boolean(self):
+        # A constant-zero column is treated as binary, which is what fairness
+        # attribute columns with no members look like in small samples.
+        assert isinstance(column_from_values([0, 0, 0]), BooleanColumn)

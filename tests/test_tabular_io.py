@@ -1,0 +1,78 @@
+"""Unit tests for repro.tabular.io (CSV round-trips)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tabular import CSVFormatError, Table, read_csv, write_csv
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "score": [3.5, 1.0, 2.25],
+            "flag": [1, 0, 1],
+            "label": ["alpha", "beta", "alpha"],
+        }
+    )
+
+
+class TestWriteAndRead:
+    def test_roundtrip(self, table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.column_names == table.column_names
+        assert loaded.numeric("score").tolist() == pytest.approx([3.5, 1.0, 2.25])
+        assert loaded.column("label").labels.tolist() == ["alpha", "beta", "alpha"]
+
+    def test_write_subset_of_columns(self, table, tmp_path):
+        path = tmp_path / "subset.csv"
+        write_csv(table, path, columns=["label", "score"])
+        loaded = read_csv(path)
+        assert loaded.column_names == ("label", "score")
+
+    def test_header_written(self, table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(table, path)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line == "score,flag,label"
+
+    def test_integer_column_round_trips_as_numeric(self, tmp_path):
+        path = tmp_path / "ints.csv"
+        write_csv(Table({"count": [1, 2, 30]}), path)
+        loaded = read_csv(path)
+        assert loaded.numeric("count").tolist() == [1.0, 2.0, 30.0]
+
+
+class TestReadErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(CSVFormatError):
+            read_csv(path)
+
+    def test_blank_header_name(self, tmp_path):
+        path = tmp_path / "bad_header.csv"
+        path.write_text("a,,c\n1,2,3\n")
+        with pytest.raises(CSVFormatError):
+            read_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(CSVFormatError):
+            read_csv(path)
+
+    def test_empty_cell(self, tmp_path):
+        path = tmp_path / "missing.csv"
+        path.write_text("a,b\n1,\n")
+        with pytest.raises(CSVFormatError):
+            read_csv(path)
+
+    def test_mixed_column_becomes_categorical(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text("a\n1\nhello\n")
+        loaded = read_csv(path)
+        assert loaded.column("a").labels.tolist() == ["1", "hello"]
