@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.core import DCA, DCAConfig
 from repro.datasets import (
     SCHOOL_FAIRNESS_ATTRIBUTES,
@@ -23,28 +25,45 @@ from repro.datasets import (
 from conftest import run_once
 
 
-def _fit_once(num_students: int, seed: int = 7) -> float:
+def _fit_once(num_students: int, seed: int = 7, engine: str = "array"):
     cohort = generate_school_cohort("bench", SchoolGeneratorConfig(num_students=num_students), seed=3)
     dca = DCA(
         SCHOOL_FAIRNESS_ATTRIBUTES,
         school_admission_rubric(),
         k=0.05,
-        config=DCAConfig(seed=seed),
+        config=DCAConfig(seed=seed, engine=engine),
     )
     start = time.perf_counter()
-    dca.fit(cohort.table)
-    return time.perf_counter() - start
+    result = dca.fit(cohort.table)
+    return time.perf_counter() - start, result
+
+
+def test_dca_array_engine_quick_profile_5k():
+    """Quick-profile smoke on the paper's 5k-student cohort (the CI perf canary).
+
+    The array engine must beat the legacy table engine by a clear margin on
+    the very same fit — a relative assertion, so it stays meaningful on slow
+    CI runners — while producing bitwise identical bonus vectors.
+    """
+    array_seconds, array_result = min(
+        (_fit_once(5_000, engine="array") for _ in range(3)), key=lambda pair: pair[0]
+    )
+    table_seconds, table_result = min(
+        (_fit_once(5_000, engine="table") for _ in range(3)), key=lambda pair: pair[0]
+    )
+    assert np.array_equal(array_result.raw_bonus.values, table_result.raw_bonus.values)
+    assert array_seconds * 1.5 < table_seconds
 
 
 def test_dca_fit_runtime_default_setting(benchmark, bench_students):
-    seconds = run_once(benchmark, _fit_once, bench_students)
+    seconds, _ = run_once(benchmark, _fit_once, bench_students)
     # The paper reports ≈10s on 80k students with their Python/Pandas setup;
     # this implementation should fit well within that on the reduced cohort.
     assert seconds < 30.0
 
 
 def test_dca_fit_time_sublinear_in_dataset_size():
-    small = min(_fit_once(10_000, seed=s) for s in (1, 2))
-    large = min(_fit_once(40_000, seed=s) for s in (1, 2))
+    small = min(_fit_once(10_000, seed=s)[0] for s in (1, 2))
+    large = min(_fit_once(40_000, seed=s)[0] for s in (1, 2))
     # 4x more data must cost far less than 4x more time (sampling-based fit).
     assert large < small * 3.0

@@ -1,7 +1,7 @@
 """The paper's primary contribution: bonus-point disparity compensation (DCA)."""
 
 from .adam import Adam
-from .bonus import BonusVector, apply_bonus
+from .bonus import BonusVector, apply_bonus, compensate_scores
 from .calibration import (
     TradeoffPoint,
     proportion_for_disparity,
@@ -9,7 +9,15 @@ from .calibration import (
     proportion_sweep,
 )
 from .config import DCAConfig
-from .dca import DCA, CoreDCA, DCARefinement, FullDCA, fit_bonus_points
+from .dca import (
+    DCA,
+    BatchFitResult,
+    CoreDCA,
+    DCARefinement,
+    FitSpec,
+    FullDCA,
+    fit_bonus_points,
+)
 from .disparity import (
     AttributeNormalizer,
     DisparityCalculator,
@@ -20,6 +28,7 @@ from .disparity import (
     disparity_vector,
 )
 from .objectives import (
+    CompiledObjective,
     DisparateImpactObjective,
     DisparityObjective,
     ExposureGapObjective,
@@ -34,14 +43,18 @@ __all__ = [
     "Adam",
     "BonusVector",
     "apply_bonus",
+    "compensate_scores",
     "DCAConfig",
     "DCA",
     "CoreDCA",
     "DCARefinement",
     "FullDCA",
+    "FitSpec",
+    "BatchFitResult",
     "fit_bonus_points",
     "DCAResult",
     "DCATrace",
+    "CompiledObjective",
     "AttributeNormalizer",
     "DisparityCalculator",
     "DisparityResult",

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..tabular import Table
 
-__all__ = ["BonusVector", "apply_bonus"]
+__all__ = ["BonusVector", "apply_bonus", "compensate_scores"]
 
 
 @dataclass(frozen=True)
@@ -187,3 +187,17 @@ class BonusVector:
 def apply_bonus(table: Table, base_scores: np.ndarray, bonus: BonusVector) -> np.ndarray:
     """Functional alias for :meth:`BonusVector.apply`."""
     return bonus.apply(table, base_scores)
+
+
+def compensate_scores(
+    attribute_matrix: np.ndarray, base_scores: np.ndarray, bonus_values: np.ndarray
+) -> np.ndarray:
+    """Array-plane compensation: ``f_b = f + A_f · B`` on raw arrays.
+
+    The DCA hot loop calls this with a row subset of the precomputed
+    fairness-attribute matrix instead of routing each sampled step through a
+    :class:`~repro.tabular.Table` and a :class:`BonusVector`; the arithmetic
+    is the same ``base + matrix @ values`` that :meth:`BonusVector.apply`
+    performs.
+    """
+    return base_scores + attribute_matrix @ bonus_values

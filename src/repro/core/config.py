@@ -8,7 +8,7 @@ non-negativity constraint on every bonus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 __all__ = ["DCAConfig"]
 
@@ -49,6 +49,14 @@ class DCAConfig:
         RNG seed controlling the random initialization and all samples.
     initial_bonus_scale:
         The random initial bonus vector is uniform on [0, initial_bonus_scale].
+    engine:
+        How per-step objective evaluations are executed.  ``"array"`` (the
+        default) runs on the vectorized array plane: attribute matrices,
+        base scores, and group masks are gathered once per fit and every
+        sampled step works on integer-indexed NumPy arrays.  ``"table"`` is
+        the legacy reference path that materializes a
+        :class:`~repro.tabular.Table` slice per step; it produces bitwise
+        identical results and exists for verification and debugging.
     """
 
     learning_rates: tuple[float, ...] = (1.0, 0.1)
@@ -63,6 +71,7 @@ class DCAConfig:
     seed: int | None = None
     initial_bonus_scale: float = 1.0
     min_group_count: int = 30
+    engine: str = "array"
 
     def validate(self) -> None:
         if not self.learning_rates:
@@ -101,20 +110,9 @@ class DCAConfig:
             )
         if self.min_group_count <= 0:
             raise ValueError(f"min_group_count must be positive, got {self.min_group_count}")
+        if self.engine not in ("array", "table"):
+            raise ValueError(f"engine must be 'array' or 'table', got {self.engine!r}")
 
     def without_refinement(self) -> "DCAConfig":
         """A copy configured to run Core DCA only (used by the Figure 8 ablation)."""
-        return DCAConfig(
-            learning_rates=self.learning_rates,
-            iterations=self.iterations,
-            refinement_iterations=0,
-            refinement_learning_rate=self.refinement_learning_rate,
-            averaging_window=self.averaging_window,
-            sample_size=self.sample_size,
-            granularity=self.granularity,
-            min_bonus=self.min_bonus,
-            max_bonus=self.max_bonus,
-            seed=self.seed,
-            initial_bonus_scale=self.initial_bonus_scale,
-            min_group_count=self.min_group_count,
-        )
+        return replace(self, refinement_iterations=0)

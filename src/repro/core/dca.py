@@ -11,7 +11,8 @@ This module implements the paper's primary contribution:
   an Adam-driven pass over fresh samples, average the iterates to damp the
   sampling noise, and round to the stakeholder granularity.
 * :class:`DCA` — the user-facing facade that runs both phases and returns a
-  :class:`~repro.core.result.DCAResult`.
+  :class:`~repro.core.result.DCAResult`; :meth:`DCA.fit_many` batches fits
+  across seeds, selection fractions, and objectives.
 * :class:`FullDCA` — the deterministic variant that evaluates the objective
   on the entire dataset at every step (the object of Theorem 4.1); it is much
   slower but useful as an accuracy reference and in tests.
@@ -20,11 +21,40 @@ The objective is pluggable (:mod:`repro.core.objectives`): the default is the
 Definition 3 disparity at a known selection fraction ``k``, but the same
 machinery optimizes the log-discounted disparity, disparate impact, false
 positive rate gaps, or exposure gaps.
+
+Array-plane engine
+------------------
+
+The optimization loop runs thousands of sampled steps, so the per-step cost
+dominates the fit time.  The default ``engine="array"`` keeps the hot loop
+entirely on NumPy arrays:
+
+1. at ``fit`` time the base scores, the raw fairness-attribute matrix
+   ``A_f``, and the objective's compiled population state (normalized
+   matrix, group masks, labels — see
+   :meth:`repro.core.objectives.FairnessObjective.compile`) are gathered
+   **once**;
+2. every step draws an ``int64`` index array from the
+   :class:`~repro.core.sampling.SampleStream`, computes compensated scores
+   as ``base[idx] + A_f[idx] @ B``, and evaluates the compiled objective on
+   those rows — no per-step :class:`~repro.tabular.Table` materialization,
+   no shadow index column, no :class:`~repro.core.bonus.BonusVector`
+   boxing.
+
+``engine="table"`` (:class:`~repro.core.config.DCAConfig`) preserves the
+legacy reference path that slices a table per step; both engines consume the
+RNG identically and produce bitwise identical results for the same seed,
+which the equivalence tests pin.  Custom objectives that only implement the
+table-path ``evaluate`` are handled transparently through the compiled
+fallback wrapper.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import copy
 import time
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -32,23 +62,44 @@ import numpy as np
 from ..ranking import ScoreFunction
 from ..tabular import Table
 from .adam import Adam
-from .bonus import BonusVector
+from .bonus import BonusVector, compensate_scores
 from .config import DCAConfig
 from .objectives import DisparityObjective, FairnessObjective
 from .result import DCAResult, DCATrace
 from .sampling import SampleStream, rarest_group_frequency, recommended_sample_size
 
-__all__ = ["CoreDCA", "DCARefinement", "DCA", "FullDCA", "fit_bonus_points"]
+__all__ = [
+    "CoreDCA",
+    "DCARefinement",
+    "DCA",
+    "FullDCA",
+    "FitSpec",
+    "BatchFitResult",
+    "fit_bonus_points",
+]
 
 
 def _project(values: np.ndarray, config: DCAConfig) -> np.ndarray:
     """Project a bonus vector onto the feasible box [min_bonus, max_bonus]."""
-    upper = np.inf if config.max_bonus is None else config.max_bonus
-    return np.clip(values, config.min_bonus, upper)
+    values = np.maximum(values, config.min_bonus)
+    if config.max_bonus is not None:
+        values = np.minimum(values, config.max_bonus)
+    return values
+
+
+def _signal_norm(signal: np.ndarray) -> float:
+    """L2 norm of a small signal vector (same value as ``np.linalg.norm``)."""
+    return float(np.sqrt(signal @ signal))
 
 
 class _BonusSearch:
-    """Shared state and helpers for the Core DCA and refinement phases."""
+    """Shared state and helpers for the Core DCA and refinement phases.
+
+    The search owns everything both engines need: the per-fit precomputed
+    arrays (base scores, raw attribute matrix, the objective compiled against
+    the population), the sample stream, and the RNG.  ``step_signal`` is the
+    hot path — one sampled objective evaluation per call.
+    """
 
     def __init__(
         self,
@@ -71,10 +122,16 @@ class _BonusSearch:
         self.attribute_names = tuple(objective.attribute_names)
         self.rng = np.random.default_rng(config.seed)
 
-        # Base scores over the full table are computed once; per-sample scores
-        # are looked up through the sampled row order via an index column.
+        # Per-fit precomputation: base scores over the full table and, for
+        # the array engine, the raw fairness-attribute matrix A_f plus the
+        # objective compiled against this population.
         self._base_scores = np.asarray(score_function.scores(table), dtype=float)
-        self._indexed_table = table.with_column("__row_index__", np.arange(table.num_rows, dtype=float))
+        if config.engine == "array":
+            self._attribute_matrix = table.matrix(list(self.attribute_names))
+            self._compiled = objective.compile(table)
+        else:
+            self._attribute_matrix = None
+            self._compiled = None
 
         if config.sample_size is not None:
             self.sample_size = int(min(config.sample_size, table.num_rows))
@@ -84,7 +141,7 @@ class _BonusSearch:
                 self.k, rarest, min_group_count=config.min_group_count,
                 maximum=table.num_rows,
             )
-        self._stream = SampleStream(self._indexed_table, self.sample_size, rng=self.rng)
+        self._stream = SampleStream(table, self.sample_size, rng=self.rng)
 
     # ------------------------------------------------------------------
     def initial_bonus(self) -> np.ndarray:
@@ -93,19 +150,26 @@ class _BonusSearch:
         values = self.rng.uniform(0.0, scale, size=len(self.attribute_names))
         return _project(values, self.config)
 
-    def sample(self) -> Table:
-        return self._stream.draw()
-
-    def objective_on(self, sample: Table, bonus_values: np.ndarray) -> np.ndarray:
-        """Evaluate the fairness objective on ``sample`` under the given bonuses."""
-        row_index = sample.numeric("__row_index__").astype(int)
-        base = self._base_scores[row_index]
+    def step_signal(self, bonus_values: np.ndarray) -> np.ndarray:
+        """Draw the next sample and evaluate the objective under ``bonus_values``."""
+        indices = self._stream.draw_indices()
+        base = self._base_scores[indices]
+        if self._compiled is not None:
+            scores = compensate_scores(self._attribute_matrix[indices], base, bonus_values)
+            return np.asarray(self._compiled.evaluate(indices, scores, self.k), dtype=float)
+        if indices.shape[0] == self.table.num_rows:
+            sample = self.table  # sample covers the table: no per-step copy
+        else:
+            sample = self.table.take(indices)
         bonus = BonusVector(attribute_names=self.attribute_names, values=bonus_values)
         scores = bonus.apply(sample, base)
         return self.objective.evaluate(sample, scores, self.k).vector
 
     def objective_on_full(self, bonus_values: np.ndarray) -> np.ndarray:
         """Evaluate the objective on the entire table (Full DCA / reporting)."""
+        if self._compiled is not None:
+            scores = compensate_scores(self._attribute_matrix, self._base_scores, bonus_values)
+            return np.asarray(self._compiled.evaluate(None, scores, self.k), dtype=float)
         bonus = BonusVector(attribute_names=self.attribute_names, values=bonus_values)
         scores = bonus.apply(self.table, self._base_scores)
         return self.objective.evaluate(self.table, scores, self.k).vector
@@ -121,9 +185,10 @@ class CoreDCA:
         objective: FairnessObjective,
         k: float,
         config: DCAConfig | None = None,
+        search: _BonusSearch | None = None,
     ) -> None:
         self.config = config or DCAConfig()
-        self._search = _BonusSearch(table, score_function, objective, k, self.config)
+        self._search = search or _BonusSearch(table, score_function, objective, k, self.config)
 
     @property
     def sample_size(self) -> int:
@@ -141,11 +206,10 @@ class CoreDCA:
             history = np.zeros((config.iterations, len(search.attribute_names)))
             norms = np.zeros(config.iterations)
             for step in range(config.iterations):
-                sample = search.sample()
-                signal = search.objective_on(sample, bonus)
+                signal = search.step_signal(bonus)
                 bonus = _project(bonus - learning_rate * signal, config)
                 history[step] = bonus
-                norms[step] = float(np.linalg.norm(signal))
+                norms[step] = _signal_norm(signal)
             traces.append(
                 DCATrace(phase=f"core lr={learning_rate:g}", bonus_history=history, objective_norms=norms)
             )
@@ -184,16 +248,67 @@ class DCARefinement:
         history = np.zeros((iterations, len(search.attribute_names)))
         norms = np.zeros(iterations)
         for step in range(iterations):
-            sample = search.sample()
-            signal = search.objective_on(sample, bonus)
+            signal = search.step_signal(bonus)
             bonus = _project(adam.step(bonus, signal), config)
             history[step] = bonus
-            norms[step] = float(np.linalg.norm(signal))
+            norms[step] = _signal_norm(signal)
         window = min(config.averaging_window, iterations)
         averaged = history[-window:].mean(axis=0)
         averaged = _project(averaged, config)
         trace = DCATrace(phase="refinement", bonus_history=history, objective_norms=norms)
         return averaged, trace
+
+
+@dataclass(frozen=True)
+class FitSpec:
+    """One unit of work for :meth:`DCA.fit_many`.
+
+    Every field defaults to "inherit from the DCA instance": an empty spec
+    reproduces a plain :meth:`DCA.fit`.
+
+    Attributes
+    ----------
+    k:
+        Selection fraction for this fit (``None`` → the instance's ``k``).
+    seed:
+        RNG seed override (``None`` → the config's seed).
+    objective:
+        Objective override; its attribute names define the fitted bonus
+        vector, so a spec may fit over a different attribute subset.
+    config:
+        Full config override (``None`` → the instance's config).  A ``seed``
+        given alongside still wins over the config's seed.
+    label:
+        Free-form tag carried through to the result (useful for reporting).
+    """
+
+    k: float | None = None
+    seed: int | None = None
+    objective: FairnessObjective | None = None
+    config: DCAConfig | None = None
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class BatchFitResult:
+    """One fitted entry of a :meth:`DCA.fit_many` batch.
+
+    ``k`` and ``seed`` record the values actually used, after spec defaults
+    were resolved against the DCA instance.
+    """
+
+    spec: FitSpec
+    k: float
+    seed: int | None
+    result: DCAResult
+
+    @property
+    def bonus(self) -> BonusVector:
+        return self.result.bonus
+
+    @property
+    def label(self) -> str | None:
+        return self.spec.label
 
 
 class DCA:
@@ -253,8 +368,9 @@ class DCA:
         start = time.perf_counter()
         self.objective.fit(table)
         search = _BonusSearch(table, self.score_function, self.objective, self.k, self.config)
-        core = CoreDCA(table, self.score_function, self.objective, self.k, self.config)
-        core._search = search  # share the sample stream and cached scores
+        core = CoreDCA(
+            table, self.score_function, self.objective, self.k, self.config, search=search
+        )  # share the sample stream and cached arrays across both phases
         core_values, traces = core.run()
         core_bonus = BonusVector(attribute_names=self.fairness_attributes, values=core_values)
 
@@ -282,6 +398,76 @@ class DCA:
             elapsed_seconds=elapsed,
         )
 
+    def fit_many(
+        self,
+        table: Table,
+        *,
+        ks: Sequence[float] | None = None,
+        seeds: Sequence[int] | None = None,
+        objectives: Sequence[FairnessObjective] | None = None,
+        specs: Sequence[FitSpec] | None = None,
+        max_workers: int | None = None,
+    ) -> list[BatchFitResult]:
+        """Fit a batch of bonus vectors on ``table`` in one call.
+
+        Either pass explicit ``specs`` or any combination of ``ks``,
+        ``seeds``, and ``objectives`` — the grid forms their Cartesian
+        product, each axis defaulting to the instance's own setting.  Results
+        come back in job order.  With ``max_workers`` the jobs run on a
+        thread pool (the NumPy-heavy hot loop releases the GIL for a useful
+        part of each step); each job gets its own deep-copied objective and
+        seeded RNG, so a batched fit is reproducible and identical to the
+        corresponding sequence of :meth:`fit` calls.
+
+        Examples
+        --------
+        One fit per selection fraction (the Figure 4a sweep)::
+
+            results = dca.fit_many(train, ks=(0.05, 0.1, 0.2))
+            bonuses = {r.k: r.bonus for r in results}
+
+        Seed sensitivity of a single setting::
+
+            spread = dca.fit_many(train, seeds=range(10), max_workers=4)
+        """
+        if specs is not None:
+            if ks is not None or seeds is not None or objectives is not None:
+                raise ValueError("pass either specs or a ks/seeds/objectives grid, not both")
+            jobs = [spec if isinstance(spec, FitSpec) else FitSpec(**spec) for spec in specs]
+        else:
+            jobs = [
+                FitSpec(k=k, seed=seed, objective=objective)
+                for k in (ks if ks is not None else (None,))
+                for seed in (seeds if seeds is not None else (None,))
+                for objective in (objectives if objectives is not None else (None,))
+            ]
+        if not jobs:
+            return []
+
+        def run_one(spec: FitSpec) -> BatchFitResult:
+            config = spec.config if spec.config is not None else self.config
+            if spec.seed is not None:
+                config = replace(config, seed=spec.seed)
+            # Fresh objective per job: fit() mutates normalizer state, and
+            # concurrent jobs must not share it.
+            objective = copy.deepcopy(
+                spec.objective if spec.objective is not None else self.objective
+            )
+            k = self.k if spec.k is None else float(spec.k)
+            job_dca = DCA(
+                objective.attribute_names,
+                self.score_function,
+                k,
+                objective=objective,
+                config=config,
+            )
+            return BatchFitResult(spec=spec, k=k, seed=config.seed, result=job_dca.fit(table))
+
+        if max_workers is not None and max_workers > 1 and len(jobs) > 1:
+            with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(run_one, jobs))
+        return [run_one(job) for job in jobs]
+
     def compensated_scores(self, table: Table, bonus: BonusVector) -> np.ndarray:
         """Convenience: apply a fitted bonus vector to new data."""
         return bonus.apply(table, self.score_function.scores(table))
@@ -292,7 +478,10 @@ class FullDCA:
 
     Theorem 4.1 is stated for this variant.  It is deterministic given the
     initialization and is used in tests to check the descent property and as
-    an accuracy reference in the ablation benchmarks.
+    an accuracy reference in the ablation benchmarks.  Under the array engine
+    the per-step full-population evaluation also runs on the precomputed
+    matrices, which removes the per-step normalization pass the table path
+    performs.
     """
 
     def __init__(
@@ -330,7 +519,7 @@ class FullDCA:
                 signal = search.objective_on_full(bonus)
                 bonus = _project(bonus - learning_rate * signal, config)
                 history[step] = bonus
-                norms[step] = float(np.linalg.norm(signal))
+                norms[step] = _signal_norm(signal)
             traces.append(
                 DCATrace(
                     phase=f"full lr={learning_rate:g}", bonus_history=history, objective_norms=norms

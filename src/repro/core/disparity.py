@@ -19,6 +19,14 @@ Two evaluation modes are provided:
   (Section IV-E), used when ``k`` is unknown or when an entire ranking
   matters.  The weight of the disparity at the ``i``-th percent is
   ``1 / log2(i + 1)``, normalized by the maximum possible value ``Z``.
+
+Both modes also have an **array-plane** entry point used by the DCA hot loop:
+:meth:`DisparityCalculator.normalized_matrix` materializes the normalized
+attribute matrix of a population once, and
+:meth:`DisparityCalculator.disparity_from_matrix` evaluates a selection
+directly on a row subset of it — no :class:`~repro.tabular.Table` slicing per
+step.  Because normalization is elementwise, indexing rows out of the
+pre-normalized matrix is bitwise identical to normalizing each sample.
 """
 
 from __future__ import annotations
@@ -75,7 +83,17 @@ class AttributeNormalizer:
 
     def transform(self, table: Table) -> np.ndarray:
         """Return the normalized fairness-attribute matrix of ``table``."""
-        matrix = table.matrix(list(self.attribute_names))
+        return self.transform_matrix(table.matrix(list(self.attribute_names)))
+
+    def transform_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Normalize a raw ``(rows, attributes)`` matrix in this normalizer's order.
+
+        This is the array-plane twin of :meth:`transform`: the DCA engine
+        normalizes the full population matrix once per fit and then serves
+        per-step samples by row indexing, which is bitwise identical to
+        normalizing each sample separately (the transform is elementwise).
+        """
+        matrix = np.asarray(matrix, dtype=float)
         if self._low is None or self._high is None:
             # Unfitted: assume attributes are already in [0, 1] (the common
             # case of binary attributes) and clip defensively.
@@ -155,8 +173,36 @@ class DisparityCalculator:
         return self
 
     # ------------------------------------------------------------------
-    def _normalized_matrix(self, table: Table) -> np.ndarray:
+    def normalized_matrix(self, table: Table) -> np.ndarray:
+        """The normalized fairness-attribute matrix of ``table``.
+
+        Exposed for the array-plane DCA engine, which precomputes this once
+        per fit and evaluates samples by row indexing into it.
+        """
         return self._normalizer.transform(table)
+
+    def disparity_from_matrix(
+        self, matrix: np.ndarray, scores: np.ndarray, k: float
+    ) -> DisparityResult:
+        """Disparity of a top-``k`` selection given an already-normalized matrix.
+
+        ``matrix`` must be ``(rows, attributes)`` in this calculator's
+        attribute order, normalized the way :meth:`normalized_matrix`
+        produces it (e.g. a row subset of that matrix).
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        scores = np.asarray(scores, dtype=float)
+        if matrix.shape != (scores.shape[0], len(self.attribute_names)):
+            raise ValueError(
+                f"matrix has shape {matrix.shape}, expected "
+                f"({scores.shape[0]}, {len(self.attribute_names)})"
+            )
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot compute disparity over an empty matrix")
+        mask = selection_mask(scores, k)
+        return DisparityResult(
+            self.attribute_names, matrix[mask].mean(axis=0) - matrix.mean(axis=0)
+        )
 
     def disparity(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
         """Disparity of selecting the top ``k`` fraction of ``table`` by ``scores``."""
@@ -167,11 +213,7 @@ class DisparityCalculator:
             )
         if table.num_rows == 0:
             raise ValueError("cannot compute disparity over an empty table")
-        matrix = self._normalized_matrix(table)
-        mask = selection_mask(scores, k)
-        selected_centroid = matrix[mask].mean(axis=0)
-        population_centroid = matrix.mean(axis=0)
-        return DisparityResult(self.attribute_names, selected_centroid - population_centroid)
+        return self.disparity_from_matrix(self.normalized_matrix(table), scores, k)
 
     def disparity_from_mask(self, table: Table, selected: np.ndarray) -> DisparityResult:
         """Disparity of an arbitrary selected/unselected partition.
@@ -186,7 +228,7 @@ class DisparityCalculator:
             )
         if not selected.any():
             raise ValueError("the selected set is empty")
-        matrix = self._normalized_matrix(table)
+        matrix = self.normalized_matrix(table)
         return DisparityResult(
             self.attribute_names, matrix[selected].mean(axis=0) - matrix.mean(axis=0)
         )

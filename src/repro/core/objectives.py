@@ -24,6 +24,20 @@ The objectives implemented here are the ones the paper evaluates:
 ``ExposureGapObjective``
     Per-group average exposure differences (the DDP building block of
     Section VI-C4), usable as a direct optimization target.
+
+Array plane
+-----------
+
+Every objective can be **compiled** against a population via
+:meth:`FairnessObjective.compile`, yielding a :class:`CompiledObjective` whose
+``evaluate(indices, scores, k)`` works directly on NumPy arrays: the
+population-level inputs (normalized attribute matrix, group-membership masks,
+labels) are gathered once, and each sampled DCA step is served by row
+indexing — no per-step :class:`~repro.tabular.Table` construction.  The
+built-in objectives provide exact array-plane compilations (bitwise identical
+to their table-path results); custom subclasses that only implement
+``evaluate`` automatically fall back to a compiled wrapper that slices the
+table, so they keep working under the array engine unchanged.
 """
 
 from __future__ import annotations
@@ -44,12 +58,43 @@ from .disparity import (
 
 __all__ = [
     "FairnessObjective",
+    "CompiledObjective",
     "DisparityObjective",
     "LogDiscountedDisparityObjective",
     "DisparateImpactObjective",
     "FalsePositiveRateObjective",
     "ExposureGapObjective",
 ]
+
+
+class CompiledObjective(abc.ABC):
+    """A fairness objective bound to one population, evaluated on arrays.
+
+    ``evaluate`` receives the row ``indices`` of the current sample (``None``
+    meaning the whole population), the compensated ``scores`` of exactly those
+    rows, and the selection fraction ``k``; it returns the raw signal vector
+    (one value per fairness attribute) as a plain ``ndarray``.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
+        """Per-attribute fairness signal for the rows at ``indices``."""
+
+
+class _CompiledTableFallback(CompiledObjective):
+    """Compiled wrapper for objectives that only implement the table path."""
+
+    __slots__ = ("_objective", "_table")
+
+    def __init__(self, objective: "FairnessObjective", table: Table) -> None:
+        self._objective = objective
+        self._table = table
+
+    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
+        subset = self._table if indices is None else self._table.take(indices)
+        return self._objective.evaluate(subset, scores, k).vector
 
 
 class FairnessObjective(abc.ABC):
@@ -67,6 +112,15 @@ class FairnessObjective(abc.ABC):
     def fit(self, table: Table) -> "FairnessObjective":
         """Fit any normalization state on a reference population (no-op by default)."""
         return self
+
+    def compile(self, table: Table) -> CompiledObjective:
+        """Bind this objective to ``table`` for array-plane evaluation.
+
+        The default compilation wraps the table path (slicing ``table`` per
+        call), so any subclass works under the array engine; the built-in
+        objectives override this with exact vectorized versions.
+        """
+        return _CompiledTableFallback(self, table)
 
     def norm(self, table: Table, scores: np.ndarray, k: float) -> float:
         return self.evaluate(table, scores, k).norm
@@ -89,6 +143,33 @@ class DisparityObjective(FairnessObjective):
 
     def evaluate(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
         return self.calculator.disparity(table, scores, k)
+
+    def compile(self, table: Table) -> CompiledObjective:
+        return _CompiledDisparity(self.calculator.normalized_matrix(table))
+
+
+def _column_means(matrix: np.ndarray) -> np.ndarray:
+    """Column means via the raw ufunc reduction.
+
+    Bitwise identical to ``matrix.mean(axis=0)`` (which performs the same
+    ``add.reduce`` followed by the same division) but without the Python-level
+    dispatch overhead, which matters at thousands of calls per fit.
+    """
+    return np.add.reduce(matrix, axis=0) / matrix.shape[0]
+
+
+class _CompiledDisparity(CompiledObjective):
+    """Array-plane Definition 3 disparity over a pre-normalized matrix."""
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self._matrix = matrix
+
+    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
+        matrix = self._matrix if indices is None else self._matrix[indices]
+        mask = selection_mask(scores, k)
+        return _column_means(matrix[mask]) - _column_means(matrix)
 
 
 class LogDiscountedDisparityObjective(FairnessObjective):
@@ -113,6 +194,47 @@ class LogDiscountedDisparityObjective(FairnessObjective):
         # ranking can be ignored" when only part of the ranking matters.
         return self.discounted.disparity(table, scores, k=k)
 
+    def compile(self, table: Table) -> CompiledObjective:
+        return _CompiledLogDiscounted(
+            self.calculator.normalized_matrix(table), self.discounted.k_grid
+        )
+
+
+class _CompiledLogDiscounted(CompiledObjective):
+    """Array-plane log-discounted disparity over a grid of selection fractions."""
+
+    __slots__ = ("_matrix", "_k_grid", "_cached_k", "_cached_grid", "_cached_weights")
+
+    def __init__(self, matrix: np.ndarray, k_grid: tuple[float, ...]) -> None:
+        self._matrix = matrix
+        self._k_grid = k_grid
+        self._cached_k: float | None = None
+        self._cached_grid: tuple[float, ...] = ()
+        self._cached_weights = np.zeros(0)
+
+    def _capped_grid(self, k: float) -> tuple[tuple[float, ...], np.ndarray]:
+        # ``k`` is constant across a fit's thousands of steps; cache the
+        # capped grid and normalized weights instead of rebuilding them.
+        if k != self._cached_k:
+            grid = tuple(g for g in self._k_grid if g <= k + 1e-12)
+            if not grid:
+                grid = (self._k_grid[0],)
+            weights = np.asarray([1.0 / np.log2(100.0 * g + 1.0) for g in grid], dtype=float)
+            self._cached_k = k
+            self._cached_grid = grid
+            self._cached_weights = weights / weights.sum()
+        return self._cached_grid, self._cached_weights
+
+    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
+        matrix = self._matrix if indices is None else self._matrix[indices]
+        grid, weights = self._capped_grid(k)
+        population_centroid = _column_means(matrix)
+        total = np.zeros(matrix.shape[1], dtype=float)
+        for weight, fraction in zip(weights, grid):
+            mask = selection_mask(scores, fraction)
+            total += weight * (_column_means(matrix[mask]) - population_centroid)
+        return total
+
 
 class DisparateImpactObjective(FairnessObjective):
     """Scaled disparate impact (Zafar et al.) adapted to DCA's conventions.
@@ -131,25 +253,13 @@ class DisparateImpactObjective(FairnessObjective):
     def evaluate(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
         scores = np.asarray(scores, dtype=float)
         mask = selection_mask(scores, k)
-        values = np.zeros(len(self.attribute_names), dtype=float)
-        for i, name in enumerate(self.attribute_names):
-            membership = table.numeric(name) > 0.5
-            in_group = membership.sum()
-            out_group = (~membership).sum()
-            if in_group == 0 or out_group == 0:
-                values[i] = 0.0
-                continue
-            rate_in = mask[membership].mean()
-            rate_out = mask[~membership].mean()
-            if rate_in == 0.0 and rate_out == 0.0:
-                values[i] = 0.0
-                continue
-            high = max(rate_in, rate_out)
-            low = min(rate_in, rate_out)
-            ratio = low / high if high > 0 else 1.0
-            magnitude = 1.0 - ratio
-            values[i] = magnitude if rate_in > rate_out else -magnitude
-        return DisparityResult(self.attribute_names, values)
+        membership = _membership_matrix(table, self.attribute_names)
+        return DisparityResult(self.attribute_names, _disparate_impact_values(membership, mask))
+
+    def compile(self, table: Table) -> CompiledObjective:
+        return _CompiledGroupObjective(
+            _membership_matrix(table, self.attribute_names), _disparate_impact_values
+        )
 
 
 class FalsePositiveRateObjective(FairnessObjective):
@@ -181,23 +291,16 @@ class FalsePositiveRateObjective(FairnessObjective):
     def evaluate(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
         scores = np.asarray(scores, dtype=float)
         selected = selection_mask(scores, k)
-        flagged = ~selected  # not selected for release == predicted positive
+        membership = _membership_matrix(table, self.attribute_names)
         labels = table.numeric(self.label_column) > 0.5
-        actual_negative = ~labels
-        values = np.zeros(len(self.attribute_names), dtype=float)
-        total_negatives = actual_negative.sum()
-        overall_fpr = (
-            float(flagged[actual_negative].mean()) if total_negatives > 0 else 0.0
+        return DisparityResult(
+            self.attribute_names, _false_positive_rate_values(membership, labels, selected)
         )
-        for i, name in enumerate(self.attribute_names):
-            membership = table.numeric(name) > 0.5
-            group_negatives = membership & actual_negative
-            if group_negatives.sum() == 0:
-                values[i] = 0.0
-                continue
-            group_fpr = float(flagged[group_negatives].mean())
-            values[i] = overall_fpr - group_fpr
-        return DisparityResult(self.attribute_names, values)
+
+    def compile(self, table: Table) -> CompiledObjective:
+        membership = _membership_matrix(table, self.attribute_names)
+        labels = table.numeric(self.label_column) > 0.5
+        return _CompiledFalsePositiveRate(membership, labels)
 
 
 class ExposureGapObjective(FairnessObjective):
@@ -216,19 +319,129 @@ class ExposureGapObjective(FairnessObjective):
 
     def evaluate(self, table: Table, scores: np.ndarray, k: float) -> DisparityResult:
         scores = np.asarray(scores, dtype=float)
-        n = scores.shape[0]
-        if n == 0:
-            raise ValueError("cannot compute exposure over an empty table")
-        order = np.lexsort((np.arange(n), -scores))
-        ranks = np.empty(n, dtype=float)
-        ranks[order] = np.arange(1, n + 1, dtype=float)
-        exposure = 1.0 / np.log2(ranks + 1.0)
-        values = np.zeros(len(self.attribute_names), dtype=float)
-        for i, name in enumerate(self.attribute_names):
-            membership = table.numeric(name) > 0.5
-            if membership.sum() == 0 or (~membership).sum() == 0:
-                values[i] = 0.0
-                continue
-            gap = exposure[membership].mean() - exposure[~membership].mean()
-            values[i] = float(np.clip(gap, -1.0, 1.0))
-        return DisparityResult(self.attribute_names, values)
+        membership = _membership_matrix(table, self.attribute_names)
+        return DisparityResult(self.attribute_names, _exposure_gap_values(membership, scores))
+
+    def compile(self, table: Table) -> CompiledObjective:
+        return _CompiledExposureGap(_membership_matrix(table, self.attribute_names))
+
+
+# ----------------------------------------------------------------------
+# Shared array-plane kernels.
+#
+# The table-path ``evaluate`` methods and the compiled objectives both call
+# these functions, so the two planes cannot drift apart: a compiled evaluation
+# over ``membership[indices]`` is the same arithmetic as a table evaluation
+# over the sliced table.
+# ----------------------------------------------------------------------
+def _membership_matrix(table: Table, attribute_names: Sequence[str]) -> np.ndarray:
+    """Boolean ``(rows, attributes)`` group-membership matrix of ``table``."""
+    return np.column_stack(
+        [table.numeric(name) > 0.5 for name in attribute_names]
+    )
+
+
+def _disparate_impact_values(membership: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Scaled disparate impact per attribute given membership and selection mask."""
+    values = np.zeros(membership.shape[1], dtype=float)
+    for i in range(membership.shape[1]):
+        member = membership[:, i]
+        in_group = member.sum()
+        out_group = (~member).sum()
+        if in_group == 0 or out_group == 0:
+            values[i] = 0.0
+            continue
+        rate_in = mask[member].mean()
+        rate_out = mask[~member].mean()
+        if rate_in == 0.0 and rate_out == 0.0:
+            values[i] = 0.0
+            continue
+        high = max(rate_in, rate_out)
+        low = min(rate_in, rate_out)
+        ratio = low / high if high > 0 else 1.0
+        magnitude = 1.0 - ratio
+        values[i] = magnitude if rate_in > rate_out else -magnitude
+    return values
+
+
+def _false_positive_rate_values(
+    membership: np.ndarray, labels: np.ndarray, selected: np.ndarray
+) -> np.ndarray:
+    """Per-group ``FPR_overall − FPR_group`` given membership, labels, selection."""
+    flagged = ~selected  # not selected for release == predicted positive
+    actual_negative = ~labels
+    values = np.zeros(membership.shape[1], dtype=float)
+    total_negatives = actual_negative.sum()
+    overall_fpr = float(flagged[actual_negative].mean()) if total_negatives > 0 else 0.0
+    for i in range(membership.shape[1]):
+        group_negatives = membership[:, i] & actual_negative
+        if group_negatives.sum() == 0:
+            values[i] = 0.0
+            continue
+        group_fpr = float(flagged[group_negatives].mean())
+        values[i] = overall_fpr - group_fpr
+    return values
+
+
+def _exposure_gap_values(membership: np.ndarray, scores: np.ndarray) -> np.ndarray:
+    """Per-group exposure gaps with logarithmic position discounting."""
+    n = scores.shape[0]
+    if n == 0:
+        raise ValueError("cannot compute exposure over an empty table")
+    order = np.lexsort((np.arange(n), -scores))
+    ranks = np.empty(n, dtype=float)
+    ranks[order] = np.arange(1, n + 1, dtype=float)
+    exposure = 1.0 / np.log2(ranks + 1.0)
+    values = np.zeros(membership.shape[1], dtype=float)
+    for i in range(membership.shape[1]):
+        member = membership[:, i]
+        if member.sum() == 0 or (~member).sum() == 0:
+            values[i] = 0.0
+            continue
+        gap = exposure[member].mean() - exposure[~member].mean()
+        values[i] = float(np.clip(gap, -1.0, 1.0))
+    return values
+
+
+class _CompiledGroupObjective(CompiledObjective):
+    """Compiled selection-mask objective over a precomputed membership matrix."""
+
+    __slots__ = ("_membership", "_kernel")
+
+    def __init__(self, membership: np.ndarray, kernel) -> None:
+        self._membership = membership
+        self._kernel = kernel
+
+    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
+        membership = self._membership if indices is None else self._membership[indices]
+        return self._kernel(membership, selection_mask(scores, k))
+
+
+class _CompiledFalsePositiveRate(CompiledObjective):
+    """Compiled equalized-odds FPR gaps over precomputed membership and labels."""
+
+    __slots__ = ("_membership", "_labels")
+
+    def __init__(self, membership: np.ndarray, labels: np.ndarray) -> None:
+        self._membership = membership
+        self._labels = labels
+
+    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
+        if indices is None:
+            membership, labels = self._membership, self._labels
+        else:
+            membership, labels = self._membership[indices], self._labels[indices]
+        return _false_positive_rate_values(membership, labels, selection_mask(scores, k))
+
+
+class _CompiledExposureGap(CompiledObjective):
+    """Compiled exposure gaps over a precomputed membership matrix."""
+
+    __slots__ = ("_membership",)
+
+    def __init__(self, membership: np.ndarray) -> None:
+        self._membership = membership
+
+    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
+        membership = self._membership if indices is None else self._membership[indices]
+        return _exposure_gap_values(membership, scores)

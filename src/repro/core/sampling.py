@@ -14,11 +14,22 @@ This gives the paper's ``O(max(1/k, 1/r))`` sample-size rule (Section IV-D).
 The experiments use a fixed sample of 500 for the school data ("our rarest
 fairness category has a frequency of 10%, so we picked a sample size of 500
 elements to ensure a representation of 50 elements").
+
+A binary attribute defines *two* groups — the members (value 1) and the
+complement (value 0) — and either one can be the rare one.  An attribute with
+prevalence 0.9 therefore has a rarest-group frequency of 0.1, not 0.9:
+:func:`rarest_group_frequency` takes ``min(freq, 1 - freq)`` per attribute.
+
+The array-plane DCA engine (see :mod:`repro.core.dca`) draws *index arrays*
+via :meth:`SampleStream.draw_indices` instead of materialized
+:class:`~repro.tabular.Table` slices; :meth:`SampleStream.draw` remains for
+the legacy table path and for external callers.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -35,9 +46,13 @@ __all__ = [
 def rarest_group_frequency(table: Table, attribute_names: Sequence[str]) -> float:
     """Frequency of the least common fairness group in ``table``.
 
-    Binary attributes contribute their prevalence (share of 1s); continuous
-    attributes do not define a discrete group and are ignored.  If every
-    attribute is continuous the function returns 1.0 (no subgroup constraint).
+    Each binary attribute defines two groups — the attribute holders (1s) and
+    their complement (0s) — and the rarer of the two is what bounds the sample
+    size, so an attribute with mean 0.9 contributes ``r = 0.1``.  Degenerate
+    attributes (all 0s or all 1s) define no real partition and are skipped,
+    as are continuous attributes, which do not define a discrete group.  If
+    every attribute is skipped the function returns 1.0 (no subgroup
+    constraint).
     """
     if table.num_rows == 0:
         raise ValueError("cannot measure group frequencies on an empty table")
@@ -47,8 +62,8 @@ def rarest_group_frequency(table: Table, attribute_names: Sequence[str]) -> floa
         unique = np.unique(values)
         if unique.size <= 2 and np.all(np.isin(unique, (0.0, 1.0))):
             frequency = float(values.mean())
-            if 0.0 < frequency < rarest:
-                rarest = frequency
+            if 0.0 < frequency < 1.0:
+                rarest = min(rarest, frequency, 1.0 - frequency)
     return rarest
 
 
@@ -61,6 +76,14 @@ def recommended_sample_size(
 ) -> int:
     """The paper's ``O(max(1/k, 1/r))`` sample-size rule.
 
+    The result is the larger of ``min_group_count / k`` and
+    ``min_group_count / rarest_frequency``, floored at ``minimum`` and capped
+    at ``maximum``.  The cap is applied *last* and always wins: when
+    ``maximum < minimum`` (typically because the dataset itself is smaller
+    than the floor) the function returns ``maximum`` and emits a
+    ``UserWarning``, since a sample can never usefully exceed the population
+    it is drawn from.
+
     Parameters
     ----------
     k:
@@ -71,7 +94,8 @@ def recommended_sample_size(
         How many selected objects / rarest-group members the sample should
         contain for the Central Limit Theorem to apply (≈30).
     minimum, maximum:
-        Floor and optional cap on the returned size.
+        Floor and optional cap on the returned size.  The cap wins over the
+        floor (with a warning) when the two conflict.
     """
     if not 0.0 < k <= 1.0:
         raise ValueError(f"k must be in (0, 1], got {k}")
@@ -79,6 +103,17 @@ def recommended_sample_size(
         raise ValueError(f"rarest_frequency must be in (0, 1], got {rarest_frequency}")
     if min_group_count <= 0:
         raise ValueError(f"min_group_count must be positive, got {min_group_count}")
+    if maximum is not None and maximum <= 0:
+        raise ValueError(f"maximum must be positive, got {maximum}")
+    if maximum is not None and maximum < minimum:
+        warnings.warn(
+            f"sample-size cap ({maximum}) is below the floor ({minimum}); "
+            "the cap wins — the sampled estimates will be noisier than the "
+            "CLT floor assumes",
+            UserWarning,
+            stacklevel=2,
+        )
+        return int(maximum)
     size = max(
         math.ceil(min_group_count / k),
         math.ceil(min_group_count / rarest_frequency),
@@ -97,6 +132,17 @@ class SampleStream:
     stream, which also guards against degenerate samples (e.g. a sample with
     zero members of some group is fine — the disparity estimate just carries
     more noise — but a sample smaller than the requested selection is not).
+
+    The stream has two faces over the same RNG state:
+
+    * :meth:`draw_indices` returns an ``int64`` index array into the table —
+      the hot-path representation the array-plane DCA engine consumes without
+      ever materializing a table slice;
+    * :meth:`draw` returns an actual :class:`~repro.tabular.Table` sample for
+      callers that want one.
+
+    Both consume the RNG identically, so an array-plane run and a table-plane
+    run with the same seed see the same sample sequence.
     """
 
     def __init__(
@@ -119,9 +165,18 @@ class SampleStream:
     def __next__(self) -> Table:
         return self.draw()
 
+    def draw_indices(self) -> np.ndarray:
+        """Row indices of the next uniform random sample (without replacement).
+
+        When the sample covers the whole table the identity index array is
+        returned and no RNG state is consumed, mirroring :meth:`draw`.
+        """
+        if self.sample_size >= self.table.num_rows:
+            return np.arange(self.table.num_rows, dtype=np.int64)
+        return self._rng.choice(self.table.num_rows, size=self.sample_size, replace=False)
+
     def draw(self) -> Table:
         """Return the next uniform random sample (without replacement)."""
         if self.sample_size >= self.table.num_rows:
             return self.table
-        indices = self._rng.choice(self.table.num_rows, size=self.sample_size, replace=False)
-        return self.table.take(indices)
+        return self.table.take(self.draw_indices())

@@ -14,23 +14,32 @@ time so the trade-offs are visible at a glance.
 
 from __future__ import annotations
 
-import time
 from dataclasses import replace
 from typing import Sequence
 
+from ..core import FitSpec
 from .harness import ExperimentResult
 from .setting import DEFAULT_K, SchoolSetting
 
 __all__ = ["run_sample_size", "run_schedule", "run_granularity", "run"]
 
 
-def _evaluate(setting: SchoolSetting, config, k: float) -> tuple[float, float, int, dict]:
-    start = time.perf_counter()
-    fitted = setting.fit_dca(k, config=config)
-    seconds = time.perf_counter() - start
-    scores = setting.compensated_scores("test", fitted.bonus)
-    norm = setting.disparity("test", scores, k)["norm"]
-    return norm, seconds, fitted.sample_size, fitted.as_dict()
+def _evaluate_batch(
+    setting: SchoolSetting, specs: list[FitSpec], max_workers: int | None = None
+) -> list[tuple[float, float, int, dict]]:
+    """Fit every spec in one batch; report (norm, seconds, sample size, bonus) per spec.
+
+    Per-fit wall-clock comes from ``DCAResult.elapsed_seconds``, so the
+    timings stay meaningful even when the batch itself runs on a pool.
+    """
+    results = []
+    for fit in setting.fit_dca_batch(specs, max_workers=max_workers):
+        scores = setting.compensated_scores("test", fit.result.bonus)
+        norm = setting.disparity("test", scores, fit.k)["norm"]
+        results.append(
+            (norm, fit.result.elapsed_seconds, fit.result.sample_size, fit.result.as_dict())
+        )
+    return results
 
 
 def run_sample_size(
@@ -44,10 +53,14 @@ def run_sample_size(
         name="ablation_sample_size",
         description="Effect of the per-step sample size on DCA accuracy and runtime",
     )
+    specs = [
+        FitSpec(k=k, config=replace(setting.dca_config, sample_size=sample_size))
+        for sample_size in sample_sizes
+    ]
     rows = []
-    for sample_size in sample_sizes:
-        config = replace(setting.dca_config, sample_size=sample_size)
-        norm, seconds, actual, bonus = _evaluate(setting, config, k)
+    for sample_size, (norm, seconds, actual, bonus) in zip(
+        sample_sizes, _evaluate_batch(setting, specs)
+    ):
         rows.append(
             {
                 "sample_size": "rule max(1/k,1/r)" if sample_size is None else sample_size,
@@ -76,10 +89,12 @@ def run_schedule(
         "single 0.1": (0.1,),
         "three rates (1.0, 0.1, 0.01)": (1.0, 0.1, 0.01),
     }
+    specs = [
+        FitSpec(k=k, label=label, config=replace(setting.dca_config, learning_rates=rates))
+        for label, rates in schedules.items()
+    ]
     rows = []
-    for label, rates in schedules.items():
-        config = replace(setting.dca_config, learning_rates=rates)
-        norm, seconds, _, bonus = _evaluate(setting, config, k)
+    for label, (norm, seconds, _, bonus) in zip(schedules, _evaluate_batch(setting, specs)):
         rows.append(
             {"schedule": label, "test_disparity_norm": norm, "seconds": seconds, "bonus": str(bonus)}
         )
@@ -98,10 +113,14 @@ def run_granularity(
         name="ablation_granularity",
         description="Effect of the bonus-point rounding granularity",
     )
+    specs = [
+        FitSpec(k=k, config=replace(setting.dca_config, granularity=granularity))
+        for granularity in granularities
+    ]
     rows = []
-    for granularity in granularities:
-        config = replace(setting.dca_config, granularity=granularity)
-        norm, seconds, _, bonus = _evaluate(setting, config, k)
+    for granularity, (norm, seconds, _, bonus) in zip(
+        granularities, _evaluate_batch(setting, specs)
+    ):
         rows.append(
             {
                 "granularity": granularity,

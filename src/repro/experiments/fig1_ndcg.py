@@ -21,6 +21,7 @@ __all__ = ["run"]
 def run(
     num_students: int | None = None,
     k_values: Sequence[float] = DEFAULT_K_SWEEP,
+    max_workers: int | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 1 series (k, nDCG@k)."""
     setting = SchoolSetting(num_students=num_students)
@@ -28,10 +29,11 @@ def run(
         name="fig1",
         description="nDCG@k on the school test cohort for varying selection fractions",
     )
+    per_k = setting.fit_dca_sweep(k_values, max_workers=max_workers)
+    base = setting.base_scores("test")
     rows: list[dict[str, object]] = []
     for k in k_values:
-        fitted = setting.fit_dca(k)
-        base = setting.base_scores("test")
+        fitted = per_k[float(k)]
         compensated = setting.compensated_scores("test", fitted.bonus)
         rows.append(
             {

@@ -11,10 +11,10 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import replace
 from typing import Sequence
 
+from ..core import FitSpec
 from .harness import ExperimentResult
 from .setting import DEFAULT_K_SWEEP, SchoolSetting
 
@@ -25,6 +25,7 @@ def run(
     num_students: int | None = None,
     k_values: Sequence[float] = DEFAULT_K_SWEEP,
     use_rule_based_sample_size: bool = True,
+    max_workers: int | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 8a (disparity) and 8b (runtime) series."""
     setting = SchoolSetting(num_students=num_students)
@@ -38,39 +39,39 @@ def run(
         # series shows the same small-k growth as the paper's Figure 8b.
         base_config = replace(base_config, sample_size=None)
 
+    # One batch covering both series: per k, a core-only fit and a refined fit.
+    specs = [
+        FitSpec(k=float(k), label=label, config=config)
+        for k in k_values
+        for label, config in (
+            ("unrefined", base_config.without_refinement()),
+            ("refined", base_config),
+        )
+    ]
+    fits = setting.fit_dca_batch(specs, max_workers=max_workers)
+
     disparity_rows: list[dict[str, object]] = []
     timing_rows: list[dict[str, object]] = []
-    for k in k_values:
-        core_config = base_config.without_refinement()
-        start = time.perf_counter()
-        core_fit = setting.fit_dca(k, config=core_config)
-        core_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        refined_fit = setting.fit_dca(k, config=base_config)
-        refined_seconds = time.perf_counter() - start
-
-        core_values = setting.disparity(
-            "test", setting.compensated_scores("test", core_fit.bonus), k
-        )
-        refined_values = setting.disparity(
-            "test", setting.compensated_scores("test", refined_fit.bonus), k
-        )
-        row: dict[str, object] = {"k": float(k), "series": "Core DCA (unrefined)"}
-        row.update({name: core_values[name] for name in setting.fairness_attributes})
-        row["norm"] = core_values["norm"]
-        disparity_rows.append(row)
-        row = {"k": float(k), "series": "DCA (refined)"}
-        row.update({name: refined_values[name] for name in setting.fairness_attributes})
-        row["norm"] = refined_values["norm"]
-        disparity_rows.append(row)
+    for core_entry, refined_entry in zip(fits[::2], fits[1::2]):
+        k = core_entry.k
+        for series, entry in (
+            ("Core DCA (unrefined)", core_entry),
+            ("DCA (refined)", refined_entry),
+        ):
+            values = setting.disparity(
+                "test", setting.compensated_scores("test", entry.result.bonus), k
+            )
+            row: dict[str, object] = {"k": k, "series": series}
+            row.update({name: values[name] for name in setting.fairness_attributes})
+            row["norm"] = values["norm"]
+            disparity_rows.append(row)
 
         timing_rows.append(
             {
-                "k": float(k),
-                "unrefined_seconds": core_seconds,
-                "refined_seconds": refined_seconds,
-                "sample_size": refined_fit.sample_size,
+                "k": k,
+                "unrefined_seconds": core_entry.result.elapsed_seconds,
+                "refined_seconds": refined_entry.result.elapsed_seconds,
+                "sample_size": refined_entry.result.sample_size,
             }
         )
 

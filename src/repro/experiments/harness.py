@@ -6,6 +6,11 @@ or figure-series per key) plus free-form notes.  The harness provides
 formatting helpers so the CLI, the examples, and EXPERIMENTS.md can all print
 the same artefacts, and a small registry the CLI uses to discover the
 experiments.
+
+Experiments that need many independent DCA fits (per-k sweeps, per-seed
+spreads, config ablations) go through :meth:`repro.core.DCA.fit_many` —
+usually via the :class:`~repro.experiments.setting.SchoolSetting` sweep
+helpers — rather than hand-rolled loops.
 """
 
 from __future__ import annotations

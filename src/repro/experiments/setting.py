@@ -12,7 +12,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core import DCA, DCAConfig, DisparityCalculator, FairnessObjective
+from ..core import (
+    DCA,
+    BatchFitResult,
+    DCAConfig,
+    DCAResult,
+    DisparityCalculator,
+    FairnessObjective,
+    FitSpec,
+)
 from ..core.bonus import BonusVector
 from ..datasets import (
     SCHOOL_FAIRNESS_ATTRIBUTES,
@@ -88,6 +96,37 @@ class SchoolSetting:
             config=config or self.dca_config,
         )
         return dca.fit(self.train.table)
+
+    def fit_dca_sweep(
+        self,
+        ks,
+        objective: FairnessObjective | None = None,
+        config: DCAConfig | None = None,
+        max_workers: int | None = None,
+    ) -> dict[float, DCAResult]:
+        """Fit one bonus vector per selection fraction in ``ks`` in a single batch.
+
+        This is the Figure 1 / Figure 4a "k known in advance" workload routed
+        through :meth:`repro.core.DCA.fit_many`; results are keyed by ``k``.
+        """
+        ks = tuple(float(k) for k in ks)  # materialize once: ks may be a generator
+        attributes = objective.attribute_names if objective is not None else self.fairness_attributes
+        dca = DCA(
+            attributes,
+            self.rubric,
+            k=max(ks),
+            objective=objective,
+            config=config or self.dca_config,
+        )
+        fits = dca.fit_many(self.train.table, ks=ks, max_workers=max_workers)
+        return {fit.k: fit.result for fit in fits}
+
+    def fit_dca_batch(
+        self, specs: list[FitSpec], max_workers: int | None = None
+    ) -> list[BatchFitResult]:
+        """Run a heterogeneous batch of DCA fits (the ablation workloads)."""
+        dca = DCA(self.fairness_attributes, self.rubric, k=DEFAULT_K, config=self.dca_config)
+        return dca.fit_many(self.train.table, specs=specs, max_workers=max_workers)
 
     def compensated_scores(self, which: str, bonus: BonusVector) -> np.ndarray:
         return bonus.apply(self.cohort(which).table, self.base_scores(which))

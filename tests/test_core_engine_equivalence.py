@@ -1,0 +1,173 @@
+"""Seed-for-seed equivalence of the array-plane and legacy table DCA engines.
+
+The array engine (``DCAConfig(engine="array")``, the default) must be a pure
+re-plumbing of the table engine (``engine="table"``): both consume the RNG
+identically and perform the same arithmetic on the same values, so for any
+seed the produced bonus vectors are required to be *bitwise* identical — not
+merely close.  These tests pin that contract for every phase class and for
+every built-in objective, plus a custom table-only objective exercising the
+compiled fallback wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCA,
+    CoreDCA,
+    DCAConfig,
+    DCARefinement,
+    DisparateImpactObjective,
+    DisparityObjective,
+    DisparityResult,
+    ExposureGapObjective,
+    FairnessObjective,
+    FalsePositiveRateObjective,
+    FullDCA,
+    LogDiscountedDisparityObjective,
+)
+from repro.ranking import ColumnScore
+from repro.tabular import Table
+
+
+def _engine_pair(config: DCAConfig) -> tuple[DCAConfig, DCAConfig]:
+    return replace(config, engine="array"), replace(config, engine="table")
+
+
+@pytest.fixture(scope="module")
+def school_setup(school_train, rubric, school_attributes):
+    return school_train.table, rubric, school_attributes
+
+
+class TestSchoolDatasetEquivalence:
+    """The acceptance setting: the school cohort, both engines, every phase."""
+
+    CONFIG = DCAConfig(seed=17, iterations=40, refinement_iterations=60, sample_size=400)
+
+    def test_core_dca_identical(self, school_setup):
+        table, rubric, attributes = school_setup
+        values = {}
+        for config in _engine_pair(self.CONFIG):
+            objective = DisparityObjective(attributes).fit(table)
+            core = CoreDCA(table, rubric, objective, k=0.05, config=config)
+            values[config.engine], _ = core.run()
+        assert np.array_equal(values["array"], values["table"])
+
+    def test_refinement_identical(self, school_setup):
+        table, rubric, attributes = school_setup
+        initial = np.asarray([1.0, 5.0, 3.0, 2.0][: len(attributes)], dtype=float)
+        values = {}
+        for config in _engine_pair(self.CONFIG):
+            objective = DisparityObjective(attributes).fit(table)
+            refinement = DCARefinement(table, rubric, objective, k=0.05, config=config)
+            values[config.engine], _ = refinement.run(initial)
+        assert np.array_equal(values["array"], values["table"])
+
+    def test_full_dca_identical(self, school_setup):
+        table, rubric, attributes = school_setup
+        config = DCAConfig(seed=5, iterations=15, refinement_iterations=0)
+        results = {}
+        for variant in _engine_pair(config):
+            full = FullDCA(attributes, rubric, k=0.05, config=variant)
+            results[variant.engine] = full.fit(table)
+        assert np.array_equal(
+            results["array"].raw_bonus.values, results["table"].raw_bonus.values
+        )
+        assert results["array"].as_dict() == results["table"].as_dict()
+
+    def test_dca_facade_identical_end_to_end(self, school_setup):
+        table, rubric, attributes = school_setup
+        results = {}
+        for config in _engine_pair(self.CONFIG):
+            results[config.engine] = DCA(attributes, rubric, k=0.05, config=config).fit(table)
+        array, legacy = results["array"], results["table"]
+        assert np.array_equal(array.core_bonus.values, legacy.core_bonus.values)
+        assert np.array_equal(array.raw_bonus.values, legacy.raw_bonus.values)
+        assert np.array_equal(array.bonus.values, legacy.bonus.values)
+        for trace_a, trace_t in zip(array.traces, legacy.traces):
+            assert trace_a.phase == trace_t.phase
+            assert np.array_equal(trace_a.bonus_history, trace_t.bonus_history)
+            assert np.array_equal(trace_a.objective_norms, trace_t.objective_norms)
+
+
+def _synthetic_population(n: int = 2500, seed: int = 3) -> Table:
+    rng = np.random.default_rng(seed)
+    group_a = (rng.uniform(size=n) < 0.25).astype(float)
+    group_b = (rng.uniform(size=n) < 0.6).astype(float)
+    label = (rng.uniform(size=n) < 0.4).astype(float)
+    score = rng.normal(10.0, 2.0, size=n) - 1.5 * group_a - 0.5 * group_b
+    return Table(
+        {"score": score, "group_a": group_a, "group_b": group_b, "label": label}
+    )
+
+
+class TestObjectiveEquivalence:
+    """Every built-in objective compiles to the exact same arithmetic."""
+
+    CONFIG = DCAConfig(seed=29, iterations=30, refinement_iterations=40, sample_size=300)
+
+    @pytest.mark.parametrize(
+        "make_objective",
+        [
+            lambda: DisparityObjective(("group_a", "group_b")),
+            lambda: LogDiscountedDisparityObjective(("group_a", "group_b")),
+            lambda: DisparateImpactObjective(("group_a", "group_b")),
+            lambda: FalsePositiveRateObjective(("group_a", "group_b"), label_column="label"),
+            lambda: ExposureGapObjective(("group_a", "group_b")),
+        ],
+        ids=["disparity", "log-discounted", "disparate-impact", "fpr", "exposure"],
+    )
+    def test_fit_identical_across_engines(self, make_objective):
+        table = _synthetic_population()
+        results = {}
+        for config in _engine_pair(self.CONFIG):
+            dca = DCA(
+                ("group_a", "group_b"),
+                ColumnScore("score"),
+                k=0.2,
+                objective=make_objective(),
+                config=config,
+            )
+            results[config.engine] = dca.fit(table)
+        assert np.array_equal(
+            results["array"].raw_bonus.values, results["table"].raw_bonus.values
+        )
+
+
+class _TableOnlyObjective(FairnessObjective):
+    """A custom objective with no compiled form: exercises the fallback path."""
+
+    def evaluate(self, table, scores, k):
+        from repro.ranking import selection_mask
+
+        mask = selection_mask(np.asarray(scores, dtype=float), k)
+        values = np.zeros(len(self.attribute_names))
+        for i, name in enumerate(self.attribute_names):
+            member = table.numeric(name) > 0.5
+            if member.any():
+                values[i] = float(mask[member].mean() - mask.mean())
+        return DisparityResult(self.attribute_names, values)
+
+
+class TestCustomObjectiveFallback:
+    def test_custom_objective_runs_under_array_engine(self):
+        table = _synthetic_population(1200)
+        config = DCAConfig(seed=11, iterations=20, refinement_iterations=20, sample_size=200)
+        results = {}
+        for variant in _engine_pair(config):
+            dca = DCA(
+                ("group_a",),
+                ColumnScore("score"),
+                k=0.2,
+                objective=_TableOnlyObjective(("group_a",)),
+                config=variant,
+            )
+            results[variant.engine] = dca.fit(table)
+        assert np.array_equal(
+            results["array"].raw_bonus.values, results["table"].raw_bonus.values
+        )
+        assert results["array"].bonus["group_a"] >= 0.0

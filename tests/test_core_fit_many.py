@@ -1,0 +1,113 @@
+"""Tests for the batched DCA.fit_many API."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCA,
+    DCAConfig,
+    DisparityObjective,
+    ExposureGapObjective,
+    FitSpec,
+)
+from repro.ranking import ColumnScore
+from repro.tabular import Table
+
+
+@pytest.fixture(scope="module")
+def population() -> Table:
+    rng = np.random.default_rng(12)
+    n = 2000
+    protected = (rng.uniform(size=n) < 0.3).astype(float)
+    score = rng.normal(10.0, 2.0, size=n) - 2.0 * protected
+    return Table({"score": score, "protected": protected})
+
+
+FAST = DCAConfig(seed=5, iterations=25, refinement_iterations=25, sample_size=250)
+
+
+def _dca(config: DCAConfig = FAST) -> DCA:
+    return DCA(["protected"], ColumnScore("score"), k=0.2, config=config)
+
+
+class TestGrids:
+    def test_defaults_to_single_fit(self, population):
+        batch = _dca().fit_many(population)
+        assert len(batch) == 1
+        assert batch[0].k == 0.2
+        assert batch[0].seed == 5
+
+    def test_k_sweep_matches_individual_fits(self, population):
+        ks = (0.1, 0.2, 0.4)
+        batch = _dca().fit_many(population, ks=ks)
+        assert [entry.k for entry in batch] == list(ks)
+        for k, entry in zip(ks, batch):
+            solo = DCA(["protected"], ColumnScore("score"), k=k, config=FAST).fit(population)
+            assert np.array_equal(entry.result.raw_bonus.values, solo.raw_bonus.values)
+
+    def test_seed_grid_overrides_config_seed(self, population):
+        batch = _dca().fit_many(population, seeds=(1, 2))
+        assert [entry.seed for entry in batch] == [1, 2]
+        resolo = DCA(
+            ["protected"], ColumnScore("score"), k=0.2, config=replace(FAST, seed=2)
+        )
+        assert np.array_equal(
+            batch[1].result.raw_bonus.values, resolo.fit(population).raw_bonus.values
+        )
+
+    def test_cartesian_product_order(self, population):
+        batch = _dca().fit_many(population, ks=(0.1, 0.2), seeds=(1, 2))
+        assert [(entry.k, entry.seed) for entry in batch] == [
+            (0.1, 1), (0.1, 2), (0.2, 1), (0.2, 2)
+        ]
+
+    def test_objectives_axis_fits_each_objective(self, population):
+        objectives = (DisparityObjective(("protected",)), ExposureGapObjective(("protected",)))
+        batch = _dca().fit_many(population, objectives=objectives)
+        assert len(batch) == 2
+        for entry in batch:
+            assert entry.result.attribute_names == ("protected",)
+
+    def test_shared_objective_instances_not_mutated(self, population):
+        objective = DisparityObjective(("protected",))
+        _dca().fit_many(population, objectives=(objective, objective))
+        # fit_many deep-copies per job, so the caller's instance stays unfitted.
+        assert not objective.calculator.normalizer.is_fitted
+
+
+class TestSpecs:
+    def test_specs_and_grid_are_mutually_exclusive(self, population):
+        with pytest.raises(ValueError):
+            _dca().fit_many(population, ks=(0.1,), specs=[FitSpec()])
+
+    def test_spec_config_override_and_label(self, population):
+        specs = [
+            FitSpec(label="short", config=FAST),
+            FitSpec(label="long", config=FAST.without_refinement()),
+        ]
+        batch = _dca().fit_many(population, specs=specs)
+        assert [entry.label for entry in batch] == ["short", "long"]
+        assert batch[1].result.traces[-1].phase.startswith("core")
+
+    def test_empty_specs(self, population):
+        assert _dca().fit_many(population, specs=[]) == []
+
+
+class TestParallel:
+    def test_threaded_batch_matches_sequential(self, population):
+        dca = _dca()
+        sequential = dca.fit_many(population, seeds=(1, 2, 3))
+        threaded = dca.fit_many(population, seeds=(1, 2, 3), max_workers=3)
+        for left, right in zip(sequential, threaded):
+            assert np.array_equal(
+                left.result.raw_bonus.values, right.result.raw_bonus.values
+            )
+
+    def test_batch_result_accessors(self, population):
+        entry = _dca().fit_many(population, ks=(0.25,))[0]
+        assert entry.bonus is entry.result.bonus
+        assert entry.label is None

@@ -14,6 +14,21 @@ class TestRarestGroupFrequency:
         table = Table({"common": [1] * 50 + [0] * 50, "rare": [1] * 10 + [0] * 90})
         assert rarest_group_frequency(table, ["common", "rare"]) == pytest.approx(0.1)
 
+    def test_majority_attribute_counts_its_complement(self):
+        """Regression: a mean-0.9 attribute has a rarest group of 0.1 (the 0s).
+
+        The old implementation reported the share of 1s only, so the
+        ``max(1/k, 1/r)`` rule sized samples ~9x too small for majority-1
+        attributes.
+        """
+        table = Table({"majority": [1] * 90 + [0] * 10})
+        assert rarest_group_frequency(table, ["majority"]) == pytest.approx(0.1)
+
+    def test_complement_considered_across_attributes(self):
+        # 1s-frequency 0.8 → complement 0.2 is rarer than the other column's 0.3.
+        table = Table({"mostly_on": [1] * 80 + [0] * 20, "flag": [1] * 30 + [0] * 70})
+        assert rarest_group_frequency(table, ["mostly_on", "flag"]) == pytest.approx(0.2)
+
     def test_ignores_continuous_attributes(self):
         table = Table({"eni": np.linspace(0, 1, 100), "flag": [1] * 30 + [0] * 70})
         assert rarest_group_frequency(table, ["eni", "flag"]) == pytest.approx(0.3)
@@ -62,6 +77,24 @@ class TestRecommendedSampleSize:
         size = recommended_sample_size(0.05, 0.1)
         assert 300 <= size <= 700
 
+    def test_cap_above_floor_leaves_floor_intact(self):
+        # maximum > minimum: the floor applies as usual, no warning.
+        assert recommended_sample_size(0.9, 0.9, minimum=250, maximum=10_000) == 250
+
+    def test_cap_below_floor_wins_with_warning(self):
+        """Regression: when maximum < minimum the cap must win, loudly.
+
+        The old code silently returned a size below ``minimum``; the clamp
+        order is now documented (cap last, cap wins) and announced.
+        """
+        with pytest.warns(UserWarning, match="cap"):
+            size = recommended_sample_size(0.5, 0.5, minimum=100, maximum=40)
+        assert size == 40
+
+    def test_non_positive_cap_rejected(self):
+        with pytest.raises(ValueError):
+            recommended_sample_size(0.5, 0.5, maximum=0)
+
 
 class TestSampleStream:
     def test_draw_size(self, rng):
@@ -91,6 +124,28 @@ class TestSampleStream:
             SampleStream(Table({"x": []}), 5, rng=rng)
         with pytest.raises(ValueError):
             SampleStream(Table({"x": [1.0]}), 0, rng=rng)
+
+    def test_draw_indices_are_integer_arrays(self, rng):
+        table = Table({"x": np.arange(200.0)})
+        indices = SampleStream(table, 20, rng=rng).draw_indices()
+        assert indices.dtype.kind == "i"
+        assert indices.shape == (20,)
+        assert np.all((0 <= indices) & (indices < 200))
+
+    def test_draw_indices_identity_when_capped(self, rng):
+        table = Table({"x": np.arange(5.0)})
+        indices = SampleStream(table, 50, rng=rng).draw_indices()
+        assert np.array_equal(indices, np.arange(5))
+
+    def test_draw_and_draw_indices_share_rng_sequence(self):
+        """The two faces of the stream must see the same sample sequence."""
+        table = Table({"x": np.arange(500.0)})
+        via_tables = SampleStream(table, 30, rng=np.random.default_rng(8))
+        via_indices = SampleStream(table, 30, rng=np.random.default_rng(8))
+        for _ in range(5):
+            drawn = via_tables.draw().numeric("x")
+            indices = via_indices.draw_indices()
+            assert np.array_equal(drawn, table.numeric("x")[indices])
 
 
 class TestDCAConfig:
@@ -136,3 +191,12 @@ class TestDCAConfig:
         assert stripped.seed == 3
         assert stripped.max_bonus == 20.0
         assert config.refinement_iterations > 0  # original untouched
+
+    def test_without_refinement_preserves_engine(self):
+        assert DCAConfig(engine="table").without_refinement().engine == "table"
+
+    def test_engine_validated(self):
+        with pytest.raises(ValueError):
+            DCAConfig(engine="pandas").validate()
+        DCAConfig(engine="array").validate()
+        DCAConfig(engine="table").validate()

@@ -82,6 +82,29 @@ class TestTopK:
         scores = np.array([1.0, 1.0, 1.0, 1.0])
         assert top_k_indices(scores, 0.5).tolist() == [0, 1]
 
+    def test_mask_ties_admitted_in_row_order(self):
+        # Three objects tie at the boundary score; the earliest rows win.
+        scores = np.array([5.0, 2.0, 2.0, 2.0, 1.0])
+        mask = selection_mask(scores, 0.6)  # size 3: the 5.0 plus two of the 2.0s
+        assert mask.tolist() == [True, True, True, False, False]
+
+    def test_mask_matches_top_k_indices_under_heavy_ties(self):
+        """The partition-based mask must select exactly the lexsort top-k set."""
+        rng = np.random.default_rng(31)
+        for _ in range(300):
+            n = int(rng.integers(1, 120))
+            scores = rng.integers(0, 6, size=n).astype(float)  # heavy ties
+            k = float(rng.uniform(0.01, 1.0))
+            reference = np.zeros(n, dtype=bool)
+            reference[top_k_indices(scores, k)] = True
+            assert np.array_equal(selection_mask(scores, k), reference)
+
+    def test_mask_handles_nan_scores_like_lexsort(self):
+        scores = np.array([3.0, np.nan, 2.0, np.nan, 1.0])
+        reference = np.zeros(5, dtype=bool)
+        reference[top_k_indices(scores, 0.6)] = True
+        assert np.array_equal(selection_mask(scores, 0.6), reference)
+
 
 class TestRankingObject:
     @pytest.fixture
