@@ -6,10 +6,12 @@ deferred-acceptance algorithm computes the assignment.  Because a school does
 not know in advance how far down its list it will admit, bonus points are
 fitted with the **log-discounted** objective.
 
-This example simulates a small district with several screened schools, fits
-one bonus vector per school on last year's cohort, runs the match with and
-without the bonus points, and compares the demographics of each school's
-admitted class.
+The pipeline itself is a first-class experiment
+(:mod:`repro.experiments.matching_admissions`, ``repro-experiments run
+matching``): per-school bonus vectors batched through ``DCA.fit_many``, a
+district of screened schools with noisy rubrics, and the heap-engine
+deferred-acceptance match.  This example runs it on a small district and
+prints the resulting tables.
 
 Run with::
 
@@ -18,77 +20,17 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import DCA, DCAConfig
-from repro.core import LogDiscountedDisparityObjective
-from repro.datasets import (
-    SCHOOL_FAIRNESS_ATTRIBUTES,
-    load_school_cohorts,
-    school_admission_rubric,
-)
-from repro.matching import deferred_acceptance, generate_student_preferences
+from repro.experiments import matching_admissions
 
 NUM_SCHOOLS = 6
-SEATS_PER_SCHOOL = 150
 NUM_APPLICANTS = 6_000
 
 
-def admitted_demographics(table, roster) -> dict[str, float]:
-    """Share of each fairness group among the admitted students."""
-    if not roster:
-        return {name: 0.0 for name in SCHOOL_FAIRNESS_ATTRIBUTES}
-    admitted = table.take(np.asarray(roster))
-    return {name: round(float(np.mean(admitted.numeric(name))), 3) for name in SCHOOL_FAIRNESS_ATTRIBUTES}
-
-
-def run_match(table, school_scores) -> list[dict[str, float]]:
-    """Run deferred acceptance and report each school's admitted demographics."""
-    rng = np.random.default_rng(11)
-    preferences = generate_student_preferences(
-        table.num_rows, NUM_SCHOOLS, list_length=4, rng=rng
-    )
-    capacities = [SEATS_PER_SCHOOL] * NUM_SCHOOLS
-    match = deferred_acceptance(preferences, school_scores, capacities)
-    return [admitted_demographics(table, match.roster(s)) for s in range(NUM_SCHOOLS)]
-
-
 def main() -> None:
-    train, test = load_school_cohorts(num_students=NUM_APPLICANTS)
-    rubric = school_admission_rubric()
-
-    # Fit one log-discounted bonus vector on last year's data (shared by all
-    # schools here; each school could fit its own against its own rubric).
-    objective = LogDiscountedDisparityObjective(SCHOOL_FAIRNESS_ATTRIBUTES)
-    dca = DCA(SCHOOL_FAIRNESS_ATTRIBUTES, rubric, k=0.5, objective=objective, config=DCAConfig(seed=3))
-    fitted = dca.fit(train.table)
-    print("Log-discounted bonus points:", fitted.as_dict())
-
-    base_scores = rubric.scores(test.table)
-    compensated = fitted.bonus.apply(test.table, base_scores)
-    population = {
-        name: round(float(np.mean(test.table.numeric(name))), 3)
-        for name in SCHOOL_FAIRNESS_ATTRIBUTES
-    }
-    print("\nPopulation shares:", population)
-
-    # Every school uses the same rubric in this example; the per-school score
-    # lists are what deferred acceptance consumes.
-    uncorrected = run_match(test.table, [list(base_scores)] * NUM_SCHOOLS)
-    corrected = run_match(test.table, [list(compensated)] * NUM_SCHOOLS)
-
-    print("\nAdmitted-class demographics per school (uncorrected rubric):")
-    for school, shares in enumerate(uncorrected):
-        print(f"  school {school}: {shares}")
-    print("\nAdmitted-class demographics per school (with bonus points):")
-    for school, shares in enumerate(corrected):
-        print(f"  school {school}: {shares}")
-
-    print(
-        "\nWith bonus points the admitted classes sit much closer to the population shares, "
-        "even though the admission cut-off of each school was not known when the bonus "
-        "points were fitted."
+    result = matching_admissions.run(
+        num_students=NUM_APPLICANTS, num_schools=NUM_SCHOOLS, list_length=4
     )
+    print(result.format())
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from . import (
     fig8_refinement,
     fig9_disparate_impact,
     fig10_compas,
+    matching_admissions,
     table1,
     table2,
 )
@@ -33,6 +34,7 @@ EXPERIMENT_RUNNERS = {
     "fig10": fig10_compas.run,
     "exposure_ddp": exposure_ddp.run,
     "ablations": ablations.run,
+    "matching": matching_admissions.run,
 }
 
 __all__ = [

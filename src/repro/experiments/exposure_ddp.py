@@ -37,9 +37,10 @@ def run(
     compensated = fitted.bonus.apply(table, base_scores)
 
     # Compare each protected group against its complement, as well as all
-    # groups among themselves, by building membership columns on the fly.
-    before = ddp(table, base_scores, attributes)
-    after = ddp(table, compensated, attributes)
+    # groups among themselves: ``include_complements`` builds the complement
+    # membership masks on the fly next to the member groups.
+    before = ddp(table, base_scores, attributes, include_complements=True)
+    after = ddp(table, compensated, attributes, include_complements=True)
     rows = [
         {"setting": "baseline", "ddp": before},
         {"setting": "after DCA (log-discounted)", "ddp": after},

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Sequence
 
-from ..core import LogDiscountedDisparity, LogDiscountedDisparityObjective
+from ..core import FitSpec, LogDiscountedDisparity, LogDiscountedDisparityObjective
 from .harness import ExperimentResult
 from .setting import SchoolSetting
 
@@ -33,11 +33,20 @@ def run(
         description="Log-discounted disparity when a maximum number of bonus points is enforced",
     )
     evaluator = LogDiscountedDisparity(setting.calculator("test"))
+    # One fit per cap, batched through fit_many (each spec carries its own
+    # max_bonus config; the objective is deep-copied per job).
+    objective = LogDiscountedDisparityObjective(setting.fairness_attributes)
+    specs = [
+        FitSpec(
+            k=max_k,
+            objective=objective,
+            config=replace(setting.dca_config, max_bonus=float(cap)),
+            label=f"max_bonus={float(cap):g}",
+        )
+        for cap in caps
+    ]
     rows: list[dict[str, object]] = []
-    for cap in caps:
-        config = replace(setting.dca_config, max_bonus=float(cap))
-        objective = LogDiscountedDisparityObjective(setting.fairness_attributes)
-        fitted = setting.fit_dca(max_k, objective=objective, config=config)
+    for cap, fitted in zip(caps, setting.fit_dca_batch(specs)):
         scores = setting.compensated_scores("test", fitted.bonus)
         disparity = evaluator.disparity(setting.test.table, scores, k=max_k)
         row: dict[str, object] = {"max_bonus": float(cap)}

@@ -43,6 +43,29 @@ DEFAULT_K: float = 0.05
 DEFAULT_K_SWEEP: tuple[float, ...] = (0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5)
 
 
+def _sweep_fits(
+    default_attributes,
+    score_function: ScoreFunction,
+    table: Table,
+    config: DCAConfig,
+    ks,
+    objective: FairnessObjective | None,
+    max_workers: int | None,
+) -> dict[float, DCAResult]:
+    """One fit per selection fraction via ``fit_many``, keyed by ``k``.
+
+    Shared by the school and COMPAS settings: both sweep helpers only differ
+    in which score function / attribute set they default to.
+    """
+    ks = tuple(float(k) for k in ks)  # materialize once: ks may be a generator
+    if not ks:
+        raise ValueError("at least one selection fraction is required")
+    attributes = objective.attribute_names if objective is not None else default_attributes
+    dca = DCA(attributes, score_function, k=max(ks), objective=objective, config=config)
+    fits = dca.fit_many(table, ks=ks, max_workers=max_workers)
+    return {fit.k: fit.result for fit in fits}
+
+
 @dataclass
 class SchoolSetting:
     """The NYC-school experimental setting (datasets, rubric, DCA defaults)."""
@@ -109,17 +132,15 @@ class SchoolSetting:
         This is the Figure 1 / Figure 4a "k known in advance" workload routed
         through :meth:`repro.core.DCA.fit_many`; results are keyed by ``k``.
         """
-        ks = tuple(float(k) for k in ks)  # materialize once: ks may be a generator
-        attributes = objective.attribute_names if objective is not None else self.fairness_attributes
-        dca = DCA(
-            attributes,
+        return _sweep_fits(
+            self.fairness_attributes,
             self.rubric,
-            k=max(ks),
-            objective=objective,
-            config=config or self.dca_config,
+            self.train.table,
+            config or self.dca_config,
+            ks,
+            objective,
+            max_workers,
         )
-        fits = dca.fit_many(self.train.table, ks=ks, max_workers=max_workers)
-        return {fit.k: fit.result for fit in fits}
 
     def fit_dca_batch(
         self, specs: list[FitSpec], max_workers: int | None = None
@@ -180,3 +201,32 @@ class CompasSetting:
             config=config or self.dca_config,
         )
         return dca.fit(self.table)
+
+    def fit_dca_sweep(
+        self,
+        ks,
+        objective: FairnessObjective | None = None,
+        config: DCAConfig | None = None,
+        max_workers: int | None = None,
+    ) -> dict[float, DCAResult]:
+        """Fit one bonus vector per selection fraction in ``ks`` in a single batch.
+
+        The per-k COMPAS workloads (Figure 10a/10b) routed through
+        :meth:`repro.core.DCA.fit_many`; results are keyed by ``k``.
+        """
+        return _sweep_fits(
+            self.race_attributes,
+            self.ranking_function,
+            self.table,
+            config or self.dca_config,
+            ks,
+            objective,
+            max_workers,
+        )
+
+    def fit_dca_batch(
+        self, specs: list[FitSpec], max_workers: int | None = None
+    ) -> list[BatchFitResult]:
+        """Run a heterogeneous batch of DCA fits against the release ranking."""
+        dca = DCA(self.race_attributes, self.ranking_function, k=DEFAULT_K, config=self.dca_config)
+        return dca.fit_many(self.table, specs=specs, max_workers=max_workers)

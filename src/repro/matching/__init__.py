@@ -1,4 +1,13 @@
-"""Deferred-acceptance matching substrate for the school-admissions scenario."""
+"""Deferred-acceptance matching substrate for the school-admissions scenario.
+
+``deferred_acceptance`` runs the student-proposing match on a heap-backed
+array plane by default (``engine="heap"``, O(P log c)); the original
+pure-Python implementation survives as ``engine="reference"`` and the two are
+proven to produce the identical student-optimal stable matching.
+``generate_student_preferences`` builds district-size preference lists from a
+vectorized popularity-plus-Gumbel utility model.  The end-to-end admissions
+workload lives in :mod:`repro.experiments.matching_admissions`.
+"""
 
 from .deferred_acceptance import MatchResult, deferred_acceptance
 from .preferences import generate_student_preferences

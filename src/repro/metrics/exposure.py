@@ -63,17 +63,32 @@ def ddp(
     table: Table,
     scores: np.ndarray,
     group_columns: Sequence[str],
+    include_complements: bool = False,
 ) -> float:
     """Demographic disparity (DDP): max pairwise average-exposure difference.
 
     ``group_columns`` are binary membership columns; each defines one group
     (objects may belong to several).  Groups with no members are skipped.
+
+    With ``include_complements=True`` every column additionally contributes
+    its complement group (the objects *outside* the protected group), built
+    on the fly from the membership mask.  This is the protected-vs-complement
+    comparison of the exposure experiment: a ranking that under-exposes a
+    protected group relative to everyone else registers a disparity even when
+    the protected groups happen to have similar average exposures among
+    themselves.  Since DDP is a max–min over group averages, adding the
+    complements can only keep or increase the value.
     """
-    if len(group_columns) < 2:
+    if len(group_columns) < 2 and not include_complements:
         raise ValueError("DDP needs at least two groups to compare")
-    averages: list[float] = []
+    memberships: list[np.ndarray] = []
     for name in group_columns:
         membership = table.numeric(name) > 0.5
+        memberships.append(membership)
+        if include_complements:
+            memberships.append(~membership)
+    averages: list[float] = []
+    for membership in memberships:
         if membership.sum() == 0:
             continue
         averages.append(average_group_exposure(scores, membership))

@@ -32,9 +32,15 @@ def dcg(gains_in_rank_order: np.ndarray) -> float:
 def ndcg_at_k(base_scores: np.ndarray, new_scores: np.ndarray, k: float) -> float:
     """nDCG of the top-k ranking induced by ``new_scores``.
 
-    Gains are the original ``base_scores`` (shifted to be non-negative, which
-    leaves the nDCG ordering unchanged and handles lower-is-better scores that
-    were negated upstream); the ideal ordering is the original ranking.
+    Gains are defined as ``base_scores - base_scores.min()`` and the ideal
+    ordering is the original ranking.  The shift makes the gains non-negative
+    so that lower-is-better scores negated upstream (e.g. the COMPAS decile
+    path) produce meaningful gains, and it makes the metric invariant to
+    translating ``base_scores``.  Note that the shift is part of the metric's
+    *definition*, not a no-op: the nDCG **ratio** is not shift-invariant, so
+    the value returned here generally differs from an nDCG computed on the
+    raw (unshifted) gains — only the ranking of candidate orderings by DCG is
+    preserved, with the worst-scored object pinned to gain 0.
 
     Parameters
     ----------

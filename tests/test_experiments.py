@@ -23,6 +23,7 @@ from repro.experiments import (
 from repro.experiments import (
     exposure_ddp,
     fig1_ndcg,
+    matching_admissions,
     fig2_fig3_proportion,
     fig4_vary_k,
     fig5_caps,
@@ -182,6 +183,39 @@ class TestSchoolExperiments:
         result = exposure_ddp.run(num_students=SMALL, max_k=0.3)
         rows = result.table("DDP before/after")
         assert rows[1]["ddp"] < rows[0]["ddp"]
+        # Regression: the experiment compares each protected group against
+        # its complement — the reported baseline must equal a direct DDP
+        # computation with the complement masks included (and member-only
+        # DDP is strictly smaller here, so the fix is observable).
+        from repro.metrics import ddp
+
+        setting = SchoolSetting(num_students=SMALL)
+        attributes = ("low_income", "ell", "special_ed")
+        scores = setting.base_scores("test")
+        expected = ddp(setting.test.table, scores, attributes, include_complements=True)
+        assert rows[0]["ddp"] == pytest.approx(expected)
+        assert ddp(setting.test.table, scores, attributes) < expected
+
+    def test_matching_admissions_pipeline(self):
+        result = matching_admissions.run(num_students=SMALL, num_schools=4, list_length=4)
+        gaps = {
+            row["series"]: row["gap"]
+            for row in result.table("representation gap vs population (mean abs deviation)")
+        }
+        # The headline finding: bonus points pull every school's admitted
+        # class toward the population shares.
+        assert gaps["with bonus points"] < gaps["uncorrected rubric"] / 2
+        for label in (
+            "admitted demographics (uncorrected rubric)",
+            "admitted demographics (with bonus points)",
+        ):
+            rows = result.table(label)
+            assert len(rows) == 4
+            assert all(row["admitted"] <= row["seats"] for row in rows)
+        ranks = result.table("rank of match")
+        for row in ranks:
+            matched_and_unmatched = sum(v for key, v in row.items() if key != "series")
+            assert matched_and_unmatched == SMALL
 
 
 class TestCompasExperiment:
@@ -208,3 +242,12 @@ class TestCLI:
         code = cli_main(["run", "fig6", "--num-students", str(SMALL), "--output", str(output)])
         assert code == 0
         assert "quota" in output.read_text()
+
+    def test_run_matching_experiment(self, tmp_path, capsys):
+        # The end-to-end DCA -> match -> demographics pipeline under the CLI.
+        output = tmp_path / "matching.txt"
+        code = cli_main(["run", "matching", "--num-students", "4000", "--output", str(output)])
+        assert code == 0
+        text = output.read_text()
+        assert "admitted demographics" in text
+        assert "rank of match" in text

@@ -1,4 +1,13 @@
-"""Tests for the deferred-acceptance matching substrate."""
+"""Tests for the deferred-acceptance matching substrate.
+
+Covers both engines (``heap`` and ``reference``), the normalized ranking
+forms (score matrix / mapping / sequence), the padded preference-matrix
+input, the pinned ``proposals_made`` accounting, and — because the
+student-optimal stable matching is unique once school tie-breaks make
+preferences strict — exact engine equivalence on randomized instances with
+zero-capacity schools, unacceptable students, duplicate scores, and
+exhausted preference lists.
+"""
 
 from __future__ import annotations
 
@@ -7,28 +16,37 @@ import pytest
 
 from repro.matching import deferred_acceptance, generate_student_preferences
 
+ENGINES = ("heap", "reference")
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    return request.param
+
 
 class TestDeferredAcceptance:
-    def test_simple_one_school(self):
+    def test_simple_one_school(self, engine):
         match = deferred_acceptance(
             student_preferences=[[0], [0], [0]],
             school_rankings=[[3.0, 2.0, 1.0]],
             capacities=[2],
+            engine=engine,
         )
         assert match.roster(0) == (0, 1)
         assert match.assignment.tolist() == [0, 0, -1]
         assert match.num_unmatched == 1
 
-    def test_students_get_best_feasible_school(self):
+    def test_students_get_best_feasible_school(self, engine):
         # Both students prefer school 0, which has one seat and prefers student 1.
         match = deferred_acceptance(
             student_preferences=[[0, 1], [0, 1]],
             school_rankings=[[1.0, 2.0], [1.0, 2.0]],
             capacities=[1, 1],
+            engine=engine,
         )
         assert match.assignment.tolist() == [1, 0]
 
-    def test_stability_no_blocking_pair(self):
+    def test_stability_no_blocking_pair(self, engine):
         """Verify stability on a random instance: no student/school pair both
         prefer each other to their match."""
         rng = np.random.default_rng(4)
@@ -36,7 +54,7 @@ class TestDeferredAcceptance:
         preferences = generate_student_preferences(num_students, num_schools, list_length=5, rng=rng)
         rankings = [list(rng.uniform(size=num_students)) for _ in range(num_schools)]
         capacities = [8] * num_schools
-        match = deferred_acceptance(preferences, rankings, capacities)
+        match = deferred_acceptance(preferences, rankings, capacities, engine=engine)
 
         def prefers(student: int, school: int) -> bool:
             assigned = match.assignment[student]
@@ -59,45 +77,59 @@ class TestDeferredAcceptance:
                     f"blocking pair: student {student} preferred by school {school}"
                 )
 
-    def test_respects_capacities(self):
+    def test_respects_capacities(self, engine):
         rng = np.random.default_rng(1)
         preferences = generate_student_preferences(50, 3, list_length=3, rng=rng)
         rankings = [list(rng.uniform(size=50)) for _ in range(3)]
-        match = deferred_acceptance(preferences, rankings, [5, 7, 9])
+        match = deferred_acceptance(preferences, rankings, [5, 7, 9], engine=engine)
         assert len(match.roster(0)) <= 5
         assert len(match.roster(1)) <= 7
         assert len(match.roster(2)) <= 9
 
-    def test_rosters_sorted_by_school_preference(self):
+    def test_rosters_sorted_by_school_preference(self, engine):
         match = deferred_acceptance(
             student_preferences=[[0], [0], [0]],
             school_rankings=[[1.0, 3.0, 2.0]],
             capacities=[3],
+            engine=engine,
         )
         assert match.roster(0) == (1, 2, 0)
 
-    def test_mapping_rankings_mark_unacceptable_students(self):
+    def test_mapping_rankings_mark_unacceptable_students(self, engine):
         # Student 1 is not in school 0's ranking and can never be admitted there.
         match = deferred_acceptance(
             student_preferences=[[0], [0]],
             school_rankings=[{0: 1.0}],
             capacities=[2],
+            engine=engine,
         )
         assert match.assignment.tolist() == [0, -1]
 
-    def test_zero_capacity_school(self):
+    def test_short_sequence_ranking_marks_tail_unacceptable(self, engine):
+        # School 0's score list only covers student 0; student 1 is unacceptable.
+        match = deferred_acceptance(
+            student_preferences=[[0], [0]],
+            school_rankings=[[1.0]],
+            capacities=[2],
+            engine=engine,
+        )
+        assert match.assignment.tolist() == [0, -1]
+
+    def test_zero_capacity_school(self, engine):
         match = deferred_acceptance(
             student_preferences=[[0, 1]],
             school_rankings=[[1.0], [1.0]],
             capacities=[0, 1],
+            engine=engine,
         )
         assert match.assignment.tolist() == [1]
 
-    def test_empty_preference_list_student_unmatched(self):
+    def test_empty_preference_list_student_unmatched(self, engine):
         match = deferred_acceptance(
             student_preferences=[[], [0]],
             school_rankings=[[1.0, 2.0]],
             capacities=[1],
+            engine=engine,
         )
         assert match.assignment.tolist() == [-1, 0]
 
@@ -108,23 +140,212 @@ class TestDeferredAcceptance:
             deferred_acceptance([[5]], [[1.0]], [1])  # unknown school
         with pytest.raises(ValueError):
             deferred_acceptance([[0]], [[1.0]], [-1])  # negative capacity
+        with pytest.raises(ValueError):
+            deferred_acceptance([[0]], [[1.0]], [1], engine="quantum")  # unknown engine
+        with pytest.raises(ValueError):
+            deferred_acceptance([[0]], np.zeros((2, 1)), [1])  # score matrix shape
 
-    def test_higher_ranked_student_displaces_lower(self):
+    def test_higher_ranked_student_displaces_lower(self, engine):
         # Student 2 applies last but is the school's favourite.
         match = deferred_acceptance(
             student_preferences=[[0], [0], [0]],
             school_rankings=[[2.0, 1.0, 3.0]],
             capacities=[2],
+            engine=engine,
         )
         assert set(match.roster(0)) == {0, 2}
 
-    def test_proposals_counted(self):
+
+class TestScoreMatrixInput:
+    def test_score_matrix_equivalent_to_sequences(self, engine):
+        rng = np.random.default_rng(3)
+        preferences = generate_student_preferences(30, 4, list_length=3, rng=rng)
+        plane = rng.normal(size=(4, 30))
+        capacities = [4, 4, 4, 4]
+        from_matrix = deferred_acceptance(preferences, plane, capacities, engine=engine)
+        from_lists = deferred_acceptance(
+            preferences, [list(row) for row in plane], capacities, engine=engine
+        )
+        assert np.array_equal(from_matrix.assignment, from_lists.assignment)
+        assert from_matrix.rosters == from_lists.rosters
+        assert from_matrix.proposals_made == from_lists.proposals_made
+
+    def test_nan_in_score_matrix_marks_unacceptable(self, engine):
+        plane = np.array([[np.nan, 1.0]])
+        match = deferred_acceptance([[0], [0]], plane, [2], engine=engine)
+        assert match.assignment.tolist() == [-1, 0]
+
+
+class TestPreferenceMatrixInput:
+    def test_padded_matrix_equivalent_to_lists(self, engine):
+        lists = [[2, 0], [1], [], [0, 1, 2]]
+        matrix = np.array([[2, 0, -1], [1, -1, -1], [-1, -1, -1], [0, 1, 2]])
+        rankings = [[1.0, 2.0, 3.0, 4.0]] * 3
+        for capacities in ([1, 1, 1], [0, 2, 1]):
+            a = deferred_acceptance(lists, rankings, capacities, engine=engine)
+            b = deferred_acceptance(matrix, rankings, capacities, engine=engine)
+            assert np.array_equal(a.assignment, b.assignment)
+            assert a.rosters == b.rosters
+            assert a.proposals_made == b.proposals_made
+            assert np.array_equal(a.matched_rank, b.matched_rank)
+
+    def test_interior_padding_rejected(self):
+        with pytest.raises(ValueError):
+            deferred_acceptance(np.array([[-1, 0]]), [[1.0]], [1])
+
+    def test_out_of_range_school_rejected(self):
+        with pytest.raises(ValueError):
+            deferred_acceptance(np.array([[3]]), [[1.0]], [1])
+        with pytest.raises(ValueError):
+            deferred_acceptance(np.array([[-2]]), [[1.0]], [1])
+
+
+class TestProposalAccounting:
+    """Pin the ``proposals_made`` semantics: applications to zero-capacity
+    schools are skipped without being counted; applications a seated school
+    rejects for unacceptability are counted."""
+
+    def test_zero_capacity_school_not_counted(self, engine):
+        match = deferred_acceptance(
+            student_preferences=[[0, 1]],
+            school_rankings=[[1.0], [1.0]],
+            capacities=[0, 1],
+            engine=engine,
+        )
+        assert match.proposals_made == 1
+
+    def test_unacceptable_application_counted(self, engine):
         match = deferred_acceptance(
             student_preferences=[[0], [0]],
-            school_rankings=[[1.0, 2.0]],
-            capacities=[1],
+            school_rankings=[{0: 1.0}],
+            capacities=[2],
+            engine=engine,
         )
-        assert match.proposals_made >= 2
+        assert match.proposals_made == 2
+
+    def test_exact_count_with_bump_chain(self, engine):
+        # s0: zero-capacity school first, then school 1 (bumps s1 out);
+        # s1: seated then bumped, list exhausted; s2: unacceptable at school 1.
+        match = deferred_acceptance(
+            student_preferences=[[0, 1], [1], [1]],
+            school_rankings=[{}, {0: 2.0, 1: 1.0}],
+            capacities=[0, 1],
+            engine=engine,
+        )
+        assert match.assignment.tolist() == [1, -1, -1]
+        # Counted: s0 -> school 1, s1 -> school 1, s2 -> school 1.  The
+        # s0 -> school 0 application is skipped (no seats to consider it).
+        assert match.proposals_made == 3
+        assert match.matched_rank.tolist() == [1, -1, -1]
+
+    def test_count_equals_sum_of_list_positions_consumed(self, engine):
+        # Without zero-capacity or unacceptable entries, every consumed list
+        # position is one counted proposal.
+        rng = np.random.default_rng(9)
+        preferences = generate_student_preferences(40, 4, list_length=3, rng=rng)
+        rankings = rng.normal(size=(4, 40))
+        match = deferred_acceptance(preferences, rankings, [6] * 4, engine=engine)
+        consumed = 0
+        for student, prefs in enumerate(preferences):
+            school = match.assignment[student]
+            consumed += prefs.index(school) + 1 if school >= 0 else len(prefs)
+        assert match.proposals_made == consumed
+
+
+class TestMatchedRank:
+    def test_matched_rank_points_into_preference_lists(self, engine):
+        rng = np.random.default_rng(12)
+        preferences = generate_student_preferences(50, 5, list_length=4, rng=rng)
+        rankings = rng.normal(size=(5, 50))
+        match = deferred_acceptance(preferences, rankings, [7] * 5, engine=engine)
+        for student, prefs in enumerate(preferences):
+            school = match.assignment[student]
+            rank = match.matched_rank[student]
+            if school < 0:
+                assert rank == -1
+            else:
+                assert prefs[rank] == school
+
+    def test_rank_distribution_sums_to_cohort(self, engine):
+        rng = np.random.default_rng(13)
+        preferences = generate_student_preferences(80, 5, list_length=3, rng=rng)
+        rankings = rng.normal(size=(5, 80))
+        match = deferred_acceptance(preferences, rankings, [10] * 5, engine=engine)
+        counts = match.rank_distribution(3)
+        assert counts.shape == (4,)
+        assert counts.sum() == 80
+        assert counts[3] == match.num_unmatched
+
+    def test_rank_distribution_rejects_uncovered_ranks(self, engine):
+        # matched_rank is [1, 0, -1]: student 0 lands on their second choice.
+        match = deferred_acceptance(
+            student_preferences=[[0, 1], [0, 1], [1]],
+            school_rankings=[[1.0, 2.0, 0.0], [3.0, 2.0, 1.0]],
+            capacities=[1, 1],
+            engine=engine,
+        )
+        assert match.matched_rank.tolist() == [1, 0, -1]
+        with pytest.raises(ValueError):
+            match.rank_distribution(1)  # would silently drop student 0
+        assert match.rank_distribution(2).tolist() == [1, 1, 1]
+
+
+def _random_instance(rng: np.random.Generator):
+    """A randomized instance stressing every edge the engines must agree on."""
+    num_students = int(rng.integers(1, 90))
+    num_schools = int(rng.integers(1, 9))
+    preferences = []
+    for _ in range(num_students):
+        if rng.random() < 0.1:
+            preferences.append([])  # student who lists nothing
+            continue
+        length = int(rng.integers(1, num_schools + 1))
+        preferences.append([int(s) for s in rng.choice(num_schools, size=length, replace=False)])
+    # Zero-capacity schools and scarce seats (bumps + exhausted lists) both occur.
+    capacities = [int(c) for c in rng.integers(0, 6, size=num_schools)]
+    # Small integer scores force heavy tie-breaking; NaN marks unacceptable.
+    plane = rng.integers(0, 4, size=(num_schools, num_students)).astype(float)
+    plane[rng.random((num_schools, num_students)) < 0.15] = np.nan
+    form = int(rng.integers(0, 3))
+    if form == 0:
+        rankings = plane
+    elif form == 1:
+        rankings = [
+            {s: plane[school, s] for s in range(num_students) if not np.isnan(plane[school, s])}
+            for school in range(num_schools)
+        ]
+    else:
+        rankings = [list(row) for row in plane]
+    return preferences, rankings, capacities
+
+
+class TestEngineEquivalence:
+    """The student-optimal stable matching is unique (school preferences are
+    made strict by the ``-student`` tie-break), so the heap and reference
+    engines must agree *exactly* — assignment, rosters, matched ranks, and
+    the proposal count, which is order-independent for deferred acceptance."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_randomized_instances(self, seed):
+        preferences, rankings, capacities = _random_instance(np.random.default_rng(seed))
+        heap = deferred_acceptance(preferences, rankings, capacities, engine="heap")
+        reference = deferred_acceptance(preferences, rankings, capacities, engine="reference")
+        assert np.array_equal(heap.assignment, reference.assignment)
+        assert heap.rosters == reference.rosters
+        assert heap.proposals_made == reference.proposals_made
+        assert np.array_equal(heap.matched_rank, reference.matched_rank)
+
+    def test_midsize_instance_with_generated_preferences(self):
+        rng = np.random.default_rng(99)
+        preferences = generate_student_preferences(400, 12, list_length=6, rng=rng, as_matrix=True)
+        plane = rng.normal(size=(12, 400))
+        plane[rng.random((12, 400)) < 0.05] = np.nan
+        capacities = [0, 10, 25, 25, 25, 25, 25, 25, 25, 25, 25, 25]
+        heap = deferred_acceptance(preferences, plane, capacities, engine="heap")
+        reference = deferred_acceptance(preferences, plane, capacities, engine="reference")
+        assert np.array_equal(heap.assignment, reference.assignment)
+        assert heap.rosters == reference.rosters
+        assert heap.proposals_made == reference.proposals_made
 
 
 class TestPreferenceGeneration:
@@ -139,6 +360,16 @@ class TestPreferenceGeneration:
     def test_list_length_capped_at_num_schools(self, rng):
         preferences = generate_student_preferences(5, 2, list_length=10, rng=rng)
         assert all(len(prefs) == 2 for prefs in preferences)
+
+    def test_as_matrix_matches_list_form(self):
+        lists = generate_student_preferences(30, 5, list_length=3, rng=np.random.default_rng(8))
+        matrix = generate_student_preferences(
+            30, 5, list_length=3, rng=np.random.default_rng(8), as_matrix=True
+        )
+        assert isinstance(matrix, np.ndarray)
+        assert matrix.dtype == np.int64
+        assert matrix.shape == (30, 3)
+        assert matrix.tolist() == lists
 
     def test_popular_school_listed_first_more_often(self):
         rng = np.random.default_rng(0)

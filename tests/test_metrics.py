@@ -68,6 +68,29 @@ class TestNDCG:
         new = np.arange(10, dtype=float)
         assert ndcg_at_k(base, new, 0.5) == pytest.approx(1.0)
 
+    def test_negative_scores_pinned_to_shifted_gain_contract(self):
+        # The COMPAS path negates lower-is-better deciles upstream, so base
+        # scores are all negative.  The documented contract: gains are
+        # base - base.min(), pinning the worst object to gain 0.
+        base = np.array([-1.0, -2.0, -3.0, -4.0])  # best object first
+        new = np.array([-2.0, -1.0, -4.0, -3.0])  # swap the top two
+        discounts = 1.0 / np.log2(np.arange(1, 3) + 1.0)
+        # Shifted gains are [3, 2, 1, 0]; the evaluated top-2 is [obj1, obj0].
+        expected = (2.0 * discounts[0] + 3.0 * discounts[1]) / (
+            3.0 * discounts[0] + 2.0 * discounts[1]
+        )
+        assert ndcg_at_k(base, new, 0.5) == pytest.approx(expected)
+        # The ratio is NOT what raw (unshifted, negative) gains would give —
+        # the shift is part of the metric's definition, not a no-op.
+        raw_ratio = (-2.0 * discounts[0] - 1.0 * discounts[1]) / (
+            -1.0 * discounts[0] - 2.0 * discounts[1]
+        )
+        assert ndcg_at_k(base, new, 0.5) != pytest.approx(raw_ratio)
+
+    def test_negative_scores_identical_ranking_scores_one(self):
+        base = -np.arange(1.0, 11.0)
+        assert ndcg_at_k(base, base.copy(), 0.3) == pytest.approx(1.0)
+
     def test_dcg_of_empty_sequence(self):
         assert dcg(np.array([])) == 0.0
 
@@ -128,6 +151,36 @@ class TestExposure:
         table = Table({"a": [1, 0], "b": [0, 1], "c": [0, 0]})
         value = ddp(table, np.array([2.0, 1.0]), ["a", "b", "c"])
         assert value >= 0.0
+
+    def test_ddp_complements_expose_member_vs_rest_gap(self):
+        # Both member groups sit at the top of the ranking with identical
+        # average exposure, so member-only DDP is zero; only the complement
+        # groups (everyone else, at the bottom) reveal the disparity.
+        table = Table({"a": [1, 1, 0, 0], "b": [1, 1, 0, 0]})
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        member_only = ddp(table, scores, ["a", "b"])
+        assert member_only == pytest.approx(0.0)
+        with_complements = ddp(table, scores, ["a", "b"], include_complements=True)
+        position = 1.0 / np.log2(np.arange(1, 5) + 1.0)
+        expected = (position[0] + position[1]) / 2 - (position[2] + position[3]) / 2
+        assert with_complements == pytest.approx(expected)
+
+    def test_ddp_complements_never_decrease_the_value(self):
+        rng = np.random.default_rng(5)
+        table = Table({
+            "a": rng.integers(0, 2, size=40),
+            "b": rng.integers(0, 2, size=40),
+        })
+        scores = rng.normal(size=40)
+        plain = ddp(table, scores, ["a", "b"])
+        augmented = ddp(table, scores, ["a", "b"], include_complements=True)
+        assert augmented >= plain - 1e-12
+
+    def test_ddp_single_column_allowed_with_complements(self):
+        table = Table({"a": [1, 0, 1, 0]})
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        value = ddp(table, scores, ["a"], include_complements=True)
+        assert value > 0.0
 
 
 class TestDisparateImpact:
