@@ -4,7 +4,8 @@ The package is organized as:
 
 * :mod:`repro.core` — the paper's contribution: bonus-point vectors, the
   Disparity metric (plain and log-discounted), the DCA optimizer, pluggable
-  fairness objectives, and the utility/fairness calibration helpers.
+  fairness objectives, the utility/fairness calibration helpers, and the
+  batched/parallel fitting backends (:mod:`repro.core.parallel`).
 * :mod:`repro.tabular` — a small columnar-table substrate (pandas stand-in).
 * :mod:`repro.ranking` — score-based ranking functions and top-k selection.
 * :mod:`repro.datasets` — calibrated synthetic NYC-schools and COMPAS data.

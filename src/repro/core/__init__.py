@@ -36,6 +36,7 @@ from .objectives import (
     FalsePositiveRateObjective,
     LogDiscountedDisparityObjective,
 )
+from .parallel import CompiledObjectiveCache, default_objective_cache
 from .result import DCAResult, DCATrace
 from .sampling import SampleStream, rarest_group_frequency, recommended_sample_size
 
@@ -55,6 +56,8 @@ __all__ = [
     "DCAResult",
     "DCATrace",
     "CompiledObjective",
+    "CompiledObjectiveCache",
+    "default_objective_cache",
     "AttributeNormalizer",
     "DisparityCalculator",
     "DisparityResult",

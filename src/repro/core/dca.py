@@ -47,15 +47,40 @@ RNG identically and produce bitwise identical results for the same seed,
 which the equivalence tests pin.  Custom objectives that only implement the
 table-path ``evaluate`` are handled transparently through the compiled
 fallback wrapper.
+
+Batched execution
+-----------------
+
+:meth:`DCA.fit_many` runs seed/k/objective grids (or explicit
+:class:`FitSpec` lists) over one population through three interchangeable
+backends selected by ``executor``:
+
+* ``"serial"`` — one job after another in the calling thread;
+* ``"thread"`` — a thread pool (the NumPy kernels release the GIL for part
+  of each step, so this helps mildly);
+* ``"process"`` — a process pool whose workers map the population out of
+  ``multiprocessing.shared_memory`` (see :mod:`repro.core.parallel`): the
+  base scores, attribute matrices, and each objective's compiled state are
+  placed in a shared segment once, and each job ships only a tiny shard
+  descriptor.  This is the backend that actually parallelizes the
+  Python-level step loop across cores.
+
+All three produce bitwise identical results for the same specs: every job
+owns its own seeded generator, and the shared arrays are exactly the ones a
+serial fit would compute.  A per-population
+:class:`~repro.core.parallel.CompiledObjectiveCache` additionally lets jobs
+(and repeated ``fit_many`` calls) that share a population and an objective
+signature skip recompiling the objective, on every backend.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import copy
+import os
 import time
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -64,7 +89,16 @@ from ..tabular import Table
 from .adam import Adam
 from .bonus import BonusVector, compensate_scores
 from .config import DCAConfig
-from .objectives import DisparityObjective, FairnessObjective
+from .objectives import CompiledObjective, DisparityObjective, FairnessObjective
+from .parallel import (
+    CompiledObjectiveCache,
+    PlaneJob,
+    PlanePayload,
+    SharedPopulationPlane,
+    default_objective_cache,
+    execute_process_jobs,
+    matrix_key,
+)
 from .result import DCAResult, DCATrace
 from .sampling import SampleStream, rarest_group_frequency, recommended_sample_size
 
@@ -78,6 +112,9 @@ __all__ = [
     "fit_bonus_points",
 ]
 
+#: Executor names accepted by :meth:`DCA.fit_many`.
+_EXECUTORS = ("serial", "thread", "process")
+
 
 def _project(values: np.ndarray, config: DCAConfig) -> np.ndarray:
     """Project a bonus vector onto the feasible box [min_bonus, max_bonus]."""
@@ -90,6 +127,24 @@ def _project(values: np.ndarray, config: DCAConfig) -> np.ndarray:
 def _signal_norm(signal: np.ndarray) -> float:
     """L2 norm of a small signal vector (same value as ``np.linalg.norm``)."""
     return float(np.sqrt(signal @ signal))
+
+
+def _resolve_sample_size(
+    config: DCAConfig, k: float, num_rows: int, rarest_frequency: Callable[[], float]
+) -> int:
+    """Per-step sample size for a population of ``num_rows`` rows.
+
+    Single source of truth for the table-backed :class:`_BonusSearch` and
+    the parent-side planner of the process backend — the two must agree
+    exactly or the backends stop being bitwise identical.
+    ``rarest_frequency`` is a thunk so callers only pay for the group scan
+    when ``config.sample_size`` is unset.
+    """
+    if config.sample_size is not None:
+        return int(min(config.sample_size, num_rows))
+    return recommended_sample_size(
+        k, rarest_frequency(), min_group_count=config.min_group_count, maximum=num_rows
+    )
 
 
 class _BonusSearch:
@@ -108,6 +163,7 @@ class _BonusSearch:
         objective: FairnessObjective,
         k: float,
         config: DCAConfig,
+        objective_cache: CompiledObjectiveCache | None = None,
     ) -> None:
         if not 0.0 < k <= 1.0:
             raise ValueError(f"selection fraction k must be in (0, 1], got {k}")
@@ -124,24 +180,65 @@ class _BonusSearch:
 
         # Per-fit precomputation: base scores over the full table and, for
         # the array engine, the raw fairness-attribute matrix A_f plus the
-        # objective compiled against this population.
+        # objective compiled against this population (through the cache when
+        # one is provided, so batched jobs share one compilation).
         self._base_scores = np.asarray(score_function.scores(table), dtype=float)
         if config.engine == "array":
             self._attribute_matrix = table.matrix(list(self.attribute_names))
-            self._compiled = objective.compile(table)
+            if objective_cache is not None:
+                self._compiled = objective_cache.compile(objective, table)
+            else:
+                self._compiled = objective.compile(table)
         else:
             self._attribute_matrix = None
             self._compiled = None
 
-        if config.sample_size is not None:
-            self.sample_size = int(min(config.sample_size, table.num_rows))
-        else:
-            rarest = rarest_group_frequency(table, self.attribute_names)
-            self.sample_size = recommended_sample_size(
-                self.k, rarest, min_group_count=config.min_group_count,
-                maximum=table.num_rows,
-            )
+        self.sample_size = _resolve_sample_size(
+            config,
+            self.k,
+            table.num_rows,
+            lambda: rarest_group_frequency(table, self.attribute_names),
+        )
         self._stream = SampleStream(table, self.sample_size, rng=self.rng)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        base_scores: np.ndarray,
+        attribute_matrix: np.ndarray,
+        compiled: CompiledObjective,
+        num_rows: int,
+        sample_size: int,
+        attribute_names: Sequence[str],
+        k: float,
+        config: DCAConfig,
+    ) -> "_BonusSearch":
+        """Assemble a search from precomputed arrays — no table required.
+
+        This is the shared-memory worker path of the process backend: the
+        parent computed ``base_scores``, the raw attribute matrix, the
+        compiled objective state, and the sample size once, and the worker
+        maps them out of shared memory.  The search consumes the RNG exactly
+        like the table-backed constructor, so the resulting fit is bitwise
+        identical to a serial :meth:`DCA.fit` with the same seed.
+        """
+        if compiled is None:
+            raise ValueError("from_arrays requires a compiled objective")
+        search = cls.__new__(cls)
+        search.table = None
+        search.score_function = None
+        search.objective = None
+        search.k = float(k)
+        search.config = config
+        search.attribute_names = tuple(attribute_names)
+        search.rng = np.random.default_rng(config.seed)
+        search._base_scores = base_scores
+        search._attribute_matrix = attribute_matrix
+        search._compiled = compiled
+        search.sample_size = int(sample_size)
+        search._stream = SampleStream(int(num_rows), search.sample_size, rng=search.rng)
+        return search
 
     # ------------------------------------------------------------------
     def initial_bonus(self) -> np.ndarray:
@@ -173,6 +270,44 @@ class _BonusSearch:
         bonus = BonusVector(attribute_names=self.attribute_names, values=bonus_values)
         scores = bonus.apply(self.table, self._base_scores)
         return self.objective.evaluate(self.table, scores, self.k).vector
+
+
+def _finish_fit(
+    search: _BonusSearch, attribute_names: Sequence[str], config: DCAConfig, start: float
+) -> DCAResult:
+    """Run the core and refinement phases on a prepared search and package the result.
+
+    The shared tail of :meth:`DCA.fit` and the process-backend workers: both
+    phases reuse the same search (sample stream, cached arrays), and the
+    final bonus is clipped and rounded exactly as the facade documents.
+    ``start`` is the fit's ``perf_counter`` origin for ``elapsed_seconds``.
+    """
+    attribute_names = tuple(attribute_names)
+    core = CoreDCA(None, None, None, search.k, config, search=search)
+    core_values, traces = core.run()
+    core_bonus = BonusVector(attribute_names=attribute_names, values=core_values)
+
+    if config.refinement_iterations > 0:
+        refinement = DCARefinement(None, None, None, search.k, config, search=search)
+        raw_values, refine_trace = refinement.run(core_values)
+        traces = traces + [refine_trace]
+    else:
+        raw_values = core_values
+
+    raw_bonus = BonusVector(attribute_names=attribute_names, values=raw_values)
+    final = raw_bonus.clipped(config.min_bonus, config.max_bonus)
+    if config.granularity > 0:
+        final = final.rounded(config.granularity)
+        final = final.clipped(config.min_bonus, config.max_bonus)
+    elapsed = time.perf_counter() - start
+    return DCAResult(
+        bonus=final,
+        raw_bonus=raw_bonus,
+        core_bonus=core_bonus,
+        traces=tuple(traces),
+        sample_size=search.sample_size,
+        elapsed_seconds=elapsed,
+    )
 
 
 class CoreDCA:
@@ -337,6 +472,12 @@ class DCA:
         Fairness signal to minimize; defaults to the Definition 3 disparity.
     config:
         Hyper-parameters; defaults follow Section V-B.
+    objective_cache:
+        Optional :class:`~repro.core.parallel.CompiledObjectiveCache`
+        through which :meth:`fit` compiles its objective, so repeated fits
+        against the same population reuse one compilation.  :meth:`fit_many`
+        always caches (using the process-wide default cache when this is
+        unset).
     """
 
     def __init__(
@@ -346,6 +487,7 @@ class DCA:
         k: float,
         objective: FairnessObjective | None = None,
         config: DCAConfig | None = None,
+        objective_cache: CompiledObjectiveCache | None = None,
     ) -> None:
         self.fairness_attributes = tuple(fairness_attributes)
         if not self.fairness_attributes:
@@ -362,41 +504,23 @@ class DCA:
                 f"{objective.attribute_names} vs {self.fairness_attributes}"
             )
         self.objective = objective or DisparityObjective(self.fairness_attributes)
+        self.objective_cache = objective_cache
 
     def fit(self, table: Table) -> DCAResult:
         """Fit bonus points on ``table`` (the training cohort / distribution sample)."""
         start = time.perf_counter()
         self.objective.fit(table)
-        search = _BonusSearch(table, self.score_function, self.objective, self.k, self.config)
-        core = CoreDCA(
-            table, self.score_function, self.objective, self.k, self.config, search=search
-        )  # share the sample stream and cached arrays across both phases
-        core_values, traces = core.run()
-        core_bonus = BonusVector(attribute_names=self.fairness_attributes, values=core_values)
-
-        if self.config.refinement_iterations > 0:
-            refinement = DCARefinement(
-                table, self.score_function, self.objective, self.k, self.config, search=search
-            )
-            raw_values, refine_trace = refinement.run(core_values)
-            traces = traces + [refine_trace]
-        else:
-            raw_values = core_values
-
-        raw_bonus = BonusVector(attribute_names=self.fairness_attributes, values=raw_values)
-        final = raw_bonus.clipped(self.config.min_bonus, self.config.max_bonus)
-        if self.config.granularity > 0:
-            final = final.rounded(self.config.granularity)
-            final = final.clipped(self.config.min_bonus, self.config.max_bonus)
-        elapsed = time.perf_counter() - start
-        return DCAResult(
-            bonus=final,
-            raw_bonus=raw_bonus,
-            core_bonus=core_bonus,
-            traces=tuple(traces),
-            sample_size=search.sample_size,
-            elapsed_seconds=elapsed,
+        # The search owns the sample stream and cached arrays; both phases
+        # (and the result assembly in _finish_fit) share it.
+        search = _BonusSearch(
+            table,
+            self.score_function,
+            self.objective,
+            self.k,
+            self.config,
+            objective_cache=self.objective_cache,
         )
+        return _finish_fit(search, self.fairness_attributes, self.config, start)
 
     def fit_many(
         self,
@@ -407,17 +531,42 @@ class DCA:
         objectives: Sequence[FairnessObjective] | None = None,
         specs: Sequence[FitSpec] | None = None,
         max_workers: int | None = None,
+        executor: str | None = None,
     ) -> list[BatchFitResult]:
         """Fit a batch of bonus vectors on ``table`` in one call.
 
         Either pass explicit ``specs`` or any combination of ``ks``,
         ``seeds``, and ``objectives`` — the grid forms their Cartesian
         product, each axis defaulting to the instance's own setting.  Results
-        come back in job order.  With ``max_workers`` the jobs run on a
-        thread pool (the NumPy-heavy hot loop releases the GIL for a useful
-        part of each step); each job gets its own deep-copied objective and
-        seeded RNG, so a batched fit is reproducible and identical to the
-        corresponding sequence of :meth:`fit` calls.
+        come back in job order.  Each job gets its own deep-copied objective
+        and seeded RNG, so a batched fit is reproducible and **bitwise
+        identical to the corresponding sequence of** :meth:`fit` **calls on
+        every backend**.
+
+        ``executor`` picks the backend:
+
+        * ``"serial"`` — jobs run one after another in the calling thread;
+        * ``"thread"`` — a thread pool; the NumPy kernels release the GIL
+          for part of each step, so speedups are modest;
+        * ``"process"`` — a process pool over a shared-memory population
+          plane (:mod:`repro.core.parallel`): base scores, attribute
+          matrices, and compiled objective state are placed in
+          ``multiprocessing.shared_memory`` once, and workers receive only
+          tiny shard descriptors — the cohort is never pickled per job.
+          Jobs that cannot run on the plane (``engine="table"`` configs, or
+          custom objectives without a
+          :meth:`~repro.core.objectives.FairnessObjective.signature`) fall
+          back to in-parent serial execution, preserving result order and
+          values.
+        * ``None`` (default) — ``"thread"`` when ``max_workers`` asks for
+          parallelism, else ``"serial"`` (the pre-``executor`` behaviour).
+
+        ``max_workers`` sizes the pool; for the parallel backends it
+        defaults to ``min(len(jobs), os.cpu_count())``.  Compiled objectives
+        are cached per population (see
+        :func:`repro.core.parallel.default_objective_cache`), so sweeps that
+        share a cohort and an objective signature — within one call or
+        across calls — compile it once.
 
         Examples
         --------
@@ -426,9 +575,9 @@ class DCA:
             results = dca.fit_many(train, ks=(0.05, 0.1, 0.2))
             bonuses = {r.k: r.bonus for r in results}
 
-        Seed sensitivity of a single setting::
+        Seed sensitivity of a single setting, across processes::
 
-            spread = dca.fit_many(train, seeds=range(10), max_workers=4)
+            spread = dca.fit_many(train, seeds=range(10), executor="process")
         """
         if specs is not None:
             if ks is not None or seeds is not None or objectives is not None:
@@ -444,29 +593,148 @@ class DCA:
         if not jobs:
             return []
 
-        def run_one(spec: FitSpec) -> BatchFitResult:
-            config = spec.config if spec.config is not None else self.config
-            if spec.seed is not None:
-                config = replace(config, seed=spec.seed)
-            # Fresh objective per job: fit() mutates normalizer state, and
-            # concurrent jobs must not share it.
-            objective = copy.deepcopy(
-                spec.objective if spec.objective is not None else self.objective
-            )
-            k = self.k if spec.k is None else float(spec.k)
-            job_dca = DCA(
-                objective.attribute_names,
-                self.score_function,
-                k,
-                objective=objective,
-                config=config,
-            )
-            return BatchFitResult(spec=spec, k=k, seed=config.seed, result=job_dca.fit(table))
+        if executor is None:
+            executor = "thread" if (max_workers is not None and max_workers > 1) else "serial"
+        if executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        if max_workers is None:
+            workers = min(len(jobs), os.cpu_count() or 1)
+        else:
+            workers = max(1, int(max_workers))
+        # Explicit None check: an empty cache is falsy (it has __len__).
+        cache = (
+            self.objective_cache
+            if self.objective_cache is not None
+            else default_objective_cache()
+        )
 
-        if max_workers is not None and max_workers > 1 and len(jobs) > 1:
-            with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
+        if executor == "process":
+            return self._fit_many_process(table, jobs, cache, workers)
+
+        def run_one(spec: FitSpec) -> BatchFitResult:
+            return self._run_single_spec(table, spec, cache)
+
+        if executor == "thread" and workers > 1 and len(jobs) > 1:
+            with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(run_one, jobs))
         return [run_one(job) for job in jobs]
+
+    # ------------------------------------------------------------------
+    # fit_many internals
+    # ------------------------------------------------------------------
+    def _resolve_spec(self, spec: FitSpec) -> tuple[DCAConfig, FairnessObjective, float]:
+        """Resolve a spec's config/objective/k against this instance's defaults."""
+        config = spec.config if spec.config is not None else self.config
+        if spec.seed is not None:
+            config = replace(config, seed=spec.seed)
+        objective = spec.objective if spec.objective is not None else self.objective
+        k = self.k if spec.k is None else float(spec.k)
+        return config, objective, k
+
+    def _run_single_spec(
+        self, table: Table, spec: FitSpec, cache: CompiledObjectiveCache
+    ) -> BatchFitResult:
+        """Run one batch job in this process (the serial/thread backends)."""
+        config, objective_template, k = self._resolve_spec(spec)
+        # Fresh objective per job: fit() mutates normalizer state, and
+        # concurrent jobs must not share it.
+        objective = copy.deepcopy(objective_template)
+        job_dca = DCA(
+            objective.attribute_names,
+            self.score_function,
+            k,
+            objective=objective,
+            config=config,
+            objective_cache=cache,
+        )
+        return BatchFitResult(spec=spec, k=k, seed=config.seed, result=job_dca.fit(table))
+
+    def _fit_many_process(
+        self,
+        table: Table,
+        jobs: Sequence[FitSpec],
+        cache: CompiledObjectiveCache,
+        max_workers: int,
+    ) -> list[BatchFitResult]:
+        """The shared-memory process backend of :meth:`fit_many`.
+
+        The parent assembles the population plane — base scores, one raw
+        attribute matrix per distinct attribute set, one compiled state per
+        distinct objective signature — inside a single shared-memory
+        segment, then dispatches :class:`~repro.core.parallel.PlaneJob`
+        shard descriptors to the pool.  Jobs the plane cannot serve (table
+        engine, signature-less objectives) run in the parent instead.
+        """
+        num_rows = table.num_rows
+        arrays: dict[str, np.ndarray] = {}
+        objective_states: dict[int, tuple[type, dict[str, str], dict]] = {}
+        signature_keys: dict[tuple, int] = {}
+        rarest: dict[tuple[str, ...], float] = {}
+        plane_jobs: list[PlaneJob] = []
+        parent_jobs: list[tuple[int, FitSpec]] = []
+        job_meta: dict[int, tuple[FitSpec, float, int | None]] = {}
+
+        for index, spec in enumerate(jobs):
+            config, objective_template, k = self._resolve_spec(spec)
+            signature = objective_template.signature()
+            if config.engine != "array" or signature is None:
+                parent_jobs.append((index, spec))
+                continue
+            if signature not in signature_keys:
+                objective = copy.deepcopy(objective_template)
+                objective.fit(table)
+                compiled = cache.compile(objective, table)
+                exported = compiled.export_state()
+                if exported is None:
+                    signature_keys[signature] = -1
+                else:
+                    state_arrays, metadata = exported
+                    key = len(objective_states)
+                    array_keys: dict[str, str] = {}
+                    for name, value in state_arrays.items():
+                        plane_key = f"objective:{key}:{name}"
+                        arrays[plane_key] = value
+                        array_keys[name] = plane_key
+                    objective_states[key] = (type(compiled), array_keys, metadata)
+                    signature_keys[signature] = key
+            key = signature_keys[signature]
+            if key < 0:
+                parent_jobs.append((index, spec))
+                continue
+            attributes = tuple(objective_template.attribute_names)
+            attr_key = matrix_key(attributes)
+            if attr_key not in arrays:
+                arrays[attr_key] = table.matrix(list(attributes))
+            def rarest_for(attrs: tuple[str, ...] = attributes) -> float:
+                # Not setdefault: its default argument evaluates eagerly,
+                # which would re-run the full group scan per job.
+                if attrs not in rarest:
+                    rarest[attrs] = rarest_group_frequency(table, attrs)
+                return rarest[attrs]
+
+            sample_size = _resolve_sample_size(config, k, num_rows, rarest_for)
+            plane_jobs.append(PlaneJob(index, attributes, k, config, sample_size, key))
+            job_meta[index] = (spec, k, config.seed)
+
+        results: dict[int, BatchFitResult] = {}
+        if plane_jobs:
+            arrays["base"] = np.asarray(self.score_function.scores(table), dtype=float)
+            plane = SharedPopulationPlane(arrays)
+            try:
+                # Pool workers inherit the parent's resource tracker (under
+                # fork and spawn alike), so the parent's registration is the
+                # one canonical one and workers must not unregister it.
+                payload = PlanePayload(
+                    plane.name, num_rows, plane.refs, objective_states, untrack_on_attach=False
+                )
+                for index, result in execute_process_jobs(payload, plane_jobs, max_workers):
+                    spec, k, seed = job_meta[index]
+                    results[index] = BatchFitResult(spec=spec, k=k, seed=seed, result=result)
+            finally:
+                plane.close()
+        for index, spec in parent_jobs:
+            results[index] = self._run_single_spec(table, spec, cache)
+        return [results[index] for index in range(len(jobs))]
 
     def compensated_scores(self, table: Table, bonus: BonusVector) -> np.ndarray:
         """Convenience: apply a fitted bonus vector to new data."""

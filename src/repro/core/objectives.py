@@ -38,6 +38,27 @@ built-in objectives provide exact array-plane compilations (bitwise identical
 to their table-path results); custom subclasses that only implement
 ``evaluate`` automatically fall back to a compiled wrapper that slices the
 table, so they keep working under the array engine unchanged.
+
+Sharing compiled state
+----------------------
+
+Compiling an objective is the expensive part of a fit's setup (it walks the
+whole population), and batched fits (:meth:`repro.core.DCA.fit_many`) run
+many jobs against the *same* population.  Two hooks let that work be done
+once:
+
+* :meth:`FairnessObjective.signature` — a stable, hashable description of an
+  objective's compiled-state inputs.  Two objectives with equal signatures,
+  fitted on the same population, compile to bitwise-identical state, so the
+  state can be cached per population
+  (:class:`repro.core.parallel.CompiledObjectiveCache`).
+* :meth:`CompiledObjective.export_state` /
+  :meth:`CompiledObjective.from_state` — split a compiled objective into a
+  dict of plain arrays plus small metadata and rebuild it from them.  The
+  arrays can live anywhere (the in-process cache, or
+  ``multiprocessing.shared_memory`` segments mapped into worker processes),
+  and every rebuilt instance gets private mutable scratch state, so one
+  exported state safely serves many concurrent jobs.
 """
 
 from __future__ import annotations
@@ -82,6 +103,30 @@ class CompiledObjective(abc.ABC):
     def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
         """Per-attribute fairness signal for the rows at ``indices``."""
 
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict] | None:
+        """Split this compiled objective into ``(arrays, metadata)``.
+
+        ``arrays`` maps names to the population-sized ndarrays the objective
+        evaluates on; ``metadata`` holds everything else (small, picklable —
+        grids, kernels, labels of structure).  ``from_state`` on the same
+        class must rebuild an equivalent instance from them, with the arrays
+        possibly living in shared memory.  Returning ``None`` (the default)
+        marks the state as non-shareable: such objectives still work under
+        every executor, but each process-pool job falls back to an in-parent
+        fit instead of a shared-memory worker.
+        """
+        return None
+
+    @classmethod
+    def from_state(cls, arrays: dict[str, np.ndarray], metadata: dict) -> "CompiledObjective":
+        """Rebuild a compiled objective from :meth:`export_state` output.
+
+        The returned instance must treat ``arrays`` as read-only (they may be
+        shared across jobs, threads, and processes) and must keep any mutable
+        scratch state private to itself.
+        """
+        raise NotImplementedError(f"{cls.__name__} does not support shared state")
+
 
 class _CompiledTableFallback(CompiledObjective):
     """Compiled wrapper for objectives that only implement the table path."""
@@ -122,6 +167,20 @@ class FairnessObjective(abc.ABC):
         """
         return _CompiledTableFallback(self, table)
 
+    def signature(self) -> tuple | None:
+        """A stable, hashable description of this objective's compiled state.
+
+        Contract: two objectives with equal signatures that have been
+        ``fit`` on the same population compile to bitwise-identical state.
+        The signature is what lets :class:`repro.core.parallel.CompiledObjectiveCache`
+        reuse one compilation across the jobs of a batched fit and what keys
+        the shared-memory plane handed to process-pool workers.  The default
+        ``None`` opts out of caching and sharing (always correct, never
+        stale) — override it in subclasses whose compiled state is fully
+        determined by constructor parameters plus the fitted population.
+        """
+        return None
+
     def norm(self, table: Table, scores: np.ndarray, k: float) -> float:
         return self.evaluate(table, scores, k).norm
 
@@ -147,6 +206,15 @@ class DisparityObjective(FairnessObjective):
     def compile(self, table: Table) -> CompiledObjective:
         return _CompiledDisparity(self.calculator.normalized_matrix(table))
 
+    def signature(self) -> tuple:
+        return ("disparity", self.attribute_names, _type_tag(self.calculator.normalizer))
+
+
+def _type_tag(instance: object) -> str:
+    """Fully qualified type name, used to make objective signatures precise."""
+    cls = type(instance)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
 
 def _column_means(matrix: np.ndarray) -> np.ndarray:
     """Column means via the raw ufunc reduction.
@@ -170,6 +238,13 @@ class _CompiledDisparity(CompiledObjective):
         matrix = self._matrix if indices is None else self._matrix[indices]
         mask = selection_mask(scores, k)
         return _column_means(matrix[mask]) - _column_means(matrix)
+
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        return {"matrix": self._matrix}, {}
+
+    @classmethod
+    def from_state(cls, arrays: dict[str, np.ndarray], metadata: dict) -> "_CompiledDisparity":
+        return cls(arrays["matrix"])
 
 
 class LogDiscountedDisparityObjective(FairnessObjective):
@@ -197,6 +272,14 @@ class LogDiscountedDisparityObjective(FairnessObjective):
     def compile(self, table: Table) -> CompiledObjective:
         return _CompiledLogDiscounted(
             self.calculator.normalized_matrix(table), self.discounted.k_grid
+        )
+
+    def signature(self) -> tuple:
+        return (
+            "log-discounted",
+            self.attribute_names,
+            self.discounted.k_grid,
+            _type_tag(self.calculator.normalizer),
         )
 
 
@@ -235,6 +318,15 @@ class _CompiledLogDiscounted(CompiledObjective):
             total += weight * (_column_means(matrix[mask]) - population_centroid)
         return total
 
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        # The per-k weight cache is scratch state: every rebuilt instance
+        # starts with an empty one, so shared state stays immutable.
+        return {"matrix": self._matrix}, {"k_grid": self._k_grid}
+
+    @classmethod
+    def from_state(cls, arrays: dict[str, np.ndarray], metadata: dict) -> "_CompiledLogDiscounted":
+        return cls(arrays["matrix"], tuple(metadata["k_grid"]))
+
 
 class DisparateImpactObjective(FairnessObjective):
     """Scaled disparate impact (Zafar et al.) adapted to DCA's conventions.
@@ -260,6 +352,9 @@ class DisparateImpactObjective(FairnessObjective):
         return _CompiledGroupObjective(
             _membership_matrix(table, self.attribute_names), _disparate_impact_values
         )
+
+    def signature(self) -> tuple:
+        return ("disparate-impact", self.attribute_names)
 
 
 class FalsePositiveRateObjective(FairnessObjective):
@@ -302,6 +397,9 @@ class FalsePositiveRateObjective(FairnessObjective):
         labels = table.numeric(self.label_column) > 0.5
         return _CompiledFalsePositiveRate(membership, labels)
 
+    def signature(self) -> tuple:
+        return ("fpr", self.attribute_names, self.label_column)
+
 
 class ExposureGapObjective(FairnessObjective):
     """Per-group exposure gaps with logarithmic position discounting.
@@ -324,6 +422,9 @@ class ExposureGapObjective(FairnessObjective):
 
     def compile(self, table: Table) -> CompiledObjective:
         return _CompiledExposureGap(_membership_matrix(table, self.attribute_names))
+
+    def signature(self) -> tuple:
+        return ("exposure-gap", self.attribute_names)
 
 
 # ----------------------------------------------------------------------
@@ -416,6 +517,15 @@ class _CompiledGroupObjective(CompiledObjective):
         membership = self._membership if indices is None else self._membership[indices]
         return self._kernel(membership, selection_mask(scores, k))
 
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        # The kernel is a module-level function, so it travels by reference
+        # (both through the in-process cache and through pickle to workers).
+        return {"membership": self._membership}, {"kernel": self._kernel}
+
+    @classmethod
+    def from_state(cls, arrays: dict[str, np.ndarray], metadata: dict) -> "_CompiledGroupObjective":
+        return cls(arrays["membership"], metadata["kernel"])
+
 
 class _CompiledFalsePositiveRate(CompiledObjective):
     """Compiled equalized-odds FPR gaps over precomputed membership and labels."""
@@ -433,6 +543,13 @@ class _CompiledFalsePositiveRate(CompiledObjective):
             membership, labels = self._membership[indices], self._labels[indices]
         return _false_positive_rate_values(membership, labels, selection_mask(scores, k))
 
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        return {"membership": self._membership, "labels": self._labels}, {}
+
+    @classmethod
+    def from_state(cls, arrays: dict[str, np.ndarray], metadata: dict) -> "_CompiledFalsePositiveRate":
+        return cls(arrays["membership"], arrays["labels"])
+
 
 class _CompiledExposureGap(CompiledObjective):
     """Compiled exposure gaps over a precomputed membership matrix."""
@@ -445,3 +562,10 @@ class _CompiledExposureGap(CompiledObjective):
     def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
         membership = self._membership if indices is None else self._membership[indices]
         return _exposure_gap_values(membership, scores)
+
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        return {"membership": self._membership}, {}
+
+    @classmethod
+    def from_state(cls, arrays: dict[str, np.ndarray], metadata: dict) -> "_CompiledExposureGap":
+        return cls(arrays["membership"])

@@ -143,20 +143,32 @@ class SampleStream:
 
     Both consume the RNG identically, so an array-plane run and a table-plane
     run with the same seed see the same sample sequence.
+
+    ``population`` may also be a bare row count instead of a
+    :class:`~repro.tabular.Table`.  Index draws are a function of the
+    population *size* only, so the shared-memory process workers of
+    :meth:`repro.core.DCA.fit_many` stream indices without ever holding the
+    table; such a stream supports :meth:`draw_indices` but not :meth:`draw`.
     """
 
     def __init__(
         self,
-        table: Table,
+        population: Table | int,
         sample_size: int,
         rng: np.random.Generator | None = None,
     ) -> None:
-        if table.num_rows == 0:
-            raise ValueError("cannot sample from an empty table")
+        if isinstance(population, Table):
+            self.table: Table | None = population
+            num_rows = population.num_rows
+        else:
+            self.table = None
+            num_rows = int(population)
+        if num_rows <= 0:
+            raise ValueError("cannot sample from an empty population")
         if sample_size <= 0:
             raise ValueError(f"sample_size must be positive, got {sample_size}")
-        self.table = table
-        self.sample_size = int(min(sample_size, table.num_rows))
+        self.num_rows = num_rows
+        self.sample_size = int(min(sample_size, num_rows))
         self._rng = rng or np.random.default_rng()
 
     def __iter__(self) -> Iterator[Table]:
@@ -168,15 +180,24 @@ class SampleStream:
     def draw_indices(self) -> np.ndarray:
         """Row indices of the next uniform random sample (without replacement).
 
-        When the sample covers the whole table the identity index array is
-        returned and no RNG state is consumed, mirroring :meth:`draw`.
+        When the sample covers the whole population the identity index array
+        is returned and no RNG state is consumed, mirroring :meth:`draw`.
         """
-        if self.sample_size >= self.table.num_rows:
-            return np.arange(self.table.num_rows, dtype=np.int64)
-        return self._rng.choice(self.table.num_rows, size=self.sample_size, replace=False)
+        if self.sample_size >= self.num_rows:
+            return np.arange(self.num_rows, dtype=np.int64)
+        return self._rng.choice(self.num_rows, size=self.sample_size, replace=False)
 
     def draw(self) -> Table:
-        """Return the next uniform random sample (without replacement)."""
-        if self.sample_size >= self.table.num_rows:
+        """Return the next uniform random sample (without replacement).
+
+        Only available when the stream was built from a table; index-only
+        streams (built from a row count) raise ``TypeError``.
+        """
+        if self.table is None:
+            raise TypeError(
+                "this SampleStream was built from a row count and holds no table; "
+                "use draw_indices()"
+            )
+        if self.sample_size >= self.num_rows:
             return self.table
         return self.table.take(self.draw_indices())

@@ -25,7 +25,10 @@ __all__ = ["run_sample_size", "run_schedule", "run_granularity", "run"]
 
 
 def _evaluate_batch(
-    setting: SchoolSetting, specs: list[FitSpec], max_workers: int | None = None
+    setting: SchoolSetting,
+    specs: list[FitSpec],
+    max_workers: int | None = None,
+    executor: str | None = None,
 ) -> list[tuple[float, float, int, dict]]:
     """Fit every spec in one batch; report (norm, seconds, sample size, bonus) per spec.
 
@@ -33,7 +36,7 @@ def _evaluate_batch(
     timings stay meaningful even when the batch itself runs on a pool.
     """
     results = []
-    for fit in setting.fit_dca_batch(specs, max_workers=max_workers):
+    for fit in setting.fit_dca_batch(specs, max_workers=max_workers, executor=executor):
         scores = setting.compensated_scores("test", fit.result.bonus)
         norm = setting.disparity("test", scores, fit.k)["norm"]
         results.append(
@@ -46,6 +49,8 @@ def run_sample_size(
     num_students: int | None = None,
     k: float = DEFAULT_K,
     sample_sizes: Sequence[int | None] = (100, 250, 500, 1000, 2000, None),
+    max_workers: int | None = None,
+    executor: str | None = None,
 ) -> ExperimentResult:
     """Residual disparity and runtime for different per-step sample sizes."""
     setting = SchoolSetting(num_students=num_students)
@@ -59,7 +64,7 @@ def run_sample_size(
     ]
     rows = []
     for sample_size, (norm, seconds, actual, bonus) in zip(
-        sample_sizes, _evaluate_batch(setting, specs)
+        sample_sizes, _evaluate_batch(setting, specs, max_workers=max_workers, executor=executor)
     ):
         rows.append(
             {
@@ -76,6 +81,8 @@ def run_sample_size(
 def run_schedule(
     num_students: int | None = None,
     k: float = DEFAULT_K,
+    max_workers: int | None = None,
+    executor: str | None = None,
 ) -> ExperimentResult:
     """The paper's two-rate schedule vs single learning rates."""
     setting = SchoolSetting(num_students=num_students)
@@ -94,7 +101,9 @@ def run_schedule(
         for label, rates in schedules.items()
     ]
     rows = []
-    for label, (norm, seconds, _, bonus) in zip(schedules, _evaluate_batch(setting, specs)):
+    for label, (norm, seconds, _, bonus) in zip(
+        schedules, _evaluate_batch(setting, specs, max_workers=max_workers, executor=executor)
+    ):
         rows.append(
             {"schedule": label, "test_disparity_norm": norm, "seconds": seconds, "bonus": str(bonus)}
         )
@@ -106,6 +115,8 @@ def run_granularity(
     num_students: int | None = None,
     k: float = DEFAULT_K,
     granularities: Sequence[float] = (0.1, 0.25, 0.5, 1.0, 2.0),
+    max_workers: int | None = None,
+    executor: str | None = None,
 ) -> ExperimentResult:
     """Bonus rounding granularity vs residual disparity."""
     setting = SchoolSetting(num_students=num_students)
@@ -119,7 +130,7 @@ def run_granularity(
     ]
     rows = []
     for granularity, (norm, seconds, _, bonus) in zip(
-        granularities, _evaluate_batch(setting, specs)
+        granularities, _evaluate_batch(setting, specs, max_workers=max_workers, executor=executor)
     ):
         rows.append(
             {
@@ -133,16 +144,21 @@ def run_granularity(
     return result
 
 
-def run(num_students: int | None = None, k: float = DEFAULT_K) -> ExperimentResult:
+def run(
+    num_students: int | None = None,
+    k: float = DEFAULT_K,
+    max_workers: int | None = None,
+    executor: str | None = None,
+) -> ExperimentResult:
     """Run all three ablations and merge their tables."""
     merged = ExperimentResult(
         name="ablations",
         description="Sample-size, learning-rate-schedule, and granularity ablations",
     )
     for sub in (
-        run_sample_size(num_students=num_students, k=k),
-        run_schedule(num_students=num_students, k=k),
-        run_granularity(num_students=num_students, k=k),
+        run_sample_size(num_students=num_students, k=k, max_workers=max_workers, executor=executor),
+        run_schedule(num_students=num_students, k=k, max_workers=max_workers, executor=executor),
+        run_granularity(num_students=num_students, k=k, max_workers=max_workers, executor=executor),
     ):
         for label, rows in sub.tables.items():
             merged.add_table(label, rows)

@@ -10,6 +10,10 @@ Run the Table I reproduction on a 20,000-student synthetic cohort::
 
     repro-experiments run table1 --num-students 20000
 
+Run a sweep-heavy experiment on the shared-memory process pool::
+
+    repro-experiments run fig4 --executor process --workers 4
+
 Run everything at reduced scale and write the formatted output to a file::
 
     repro-experiments run-all --num-students 10000 --output results.txt
@@ -18,6 +22,7 @@ Run everything at reduced scale and write the formatted output to a file::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Sequence
 
@@ -25,6 +30,31 @@ from . import EXPERIMENT_RUNNERS
 from .harness import ExperimentResult
 
 __all__ = ["main", "build_parser"]
+
+#: Batch backends exposed on the command line (see repro.core.DCA.fit_many).
+EXECUTOR_CHOICES = ("serial", "thread", "process")
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--num-students", type=int, default=None, help="synthetic school cohort size override"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default=None,
+        help=(
+            "batch backend for experiments that sweep DCA fits: 'serial', "
+            "'thread', or 'process' (shared-memory process pool)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for the thread/process executors (default: one per job, capped at CPUs)",
+    )
+    parser.add_argument("--output", default=None, help="write the formatted result to a file")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,25 +68,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment name (see 'list')")
-    run_parser.add_argument(
-        "--num-students", type=int, default=None, help="synthetic school cohort size override"
-    )
-    run_parser.add_argument("--output", default=None, help="write the formatted result to a file")
+    _add_run_options(run_parser)
 
     all_parser = subparsers.add_parser("run-all", help="run every experiment")
-    all_parser.add_argument("--num-students", type=int, default=None)
-    all_parser.add_argument("--output", default=None)
+    _add_run_options(all_parser)
     return parser
 
 
-def _run_one(name: str, num_students: int | None) -> ExperimentResult:
+def _run_one(
+    name: str,
+    num_students: int | None,
+    executor: str | None = None,
+    workers: int | None = None,
+) -> ExperimentResult:
+    """Invoke a runner, forwarding only the options its signature supports.
+
+    Experiments differ in what they can vary (the COMPAS figures have no
+    ``num_students``; single-fit experiments have no batch backend), so the
+    CLI inspects each runner instead of forcing one signature on all of
+    them.
+    """
     runner = EXPERIMENT_RUNNERS[name]
-    if name in ("fig10", ):
-        return runner()
-    try:
-        return runner(num_students=num_students)
-    except TypeError:
-        return runner()
+    parameters = inspect.signature(runner).parameters
+    kwargs: dict[str, object] = {}
+    if num_students is not None and "num_students" in parameters:
+        kwargs["num_students"] = num_students
+    if executor is not None and "executor" in parameters:
+        kwargs["executor"] = executor
+    if workers is not None and "max_workers" in parameters:
+        kwargs["max_workers"] = workers
+    return runner(**kwargs)
 
 
 def _emit(text: str, output: str | None) -> None:
@@ -79,13 +120,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        result = _run_one(args.experiment, args.num_students)
+        result = _run_one(args.experiment, args.num_students, args.executor, args.workers)
         _emit(result.format(), args.output)
         return 0
     if args.command == "run-all":
         outputs = []
         for name in sorted(EXPERIMENT_RUNNERS):
-            outputs.append(_run_one(name, args.num_students).format())
+            outputs.append(_run_one(name, args.num_students, args.executor, args.workers).format())
         _emit("\n\n".join(outputs), args.output)
         return 0
     return 2

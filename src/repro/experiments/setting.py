@@ -51,18 +51,21 @@ def _sweep_fits(
     ks,
     objective: FairnessObjective | None,
     max_workers: int | None,
+    executor: str | None = None,
 ) -> dict[float, DCAResult]:
     """One fit per selection fraction via ``fit_many``, keyed by ``k``.
 
     Shared by the school and COMPAS settings: both sweep helpers only differ
-    in which score function / attribute set they default to.
+    in which score function / attribute set they default to.  ``executor``
+    selects the :meth:`repro.core.DCA.fit_many` backend (``"serial"``,
+    ``"thread"``, or the shared-memory ``"process"`` pool).
     """
     ks = tuple(float(k) for k in ks)  # materialize once: ks may be a generator
     if not ks:
         raise ValueError("at least one selection fraction is required")
     attributes = objective.attribute_names if objective is not None else default_attributes
     dca = DCA(attributes, score_function, k=max(ks), objective=objective, config=config)
-    fits = dca.fit_many(table, ks=ks, max_workers=max_workers)
+    fits = dca.fit_many(table, ks=ks, max_workers=max_workers, executor=executor)
     return {fit.k: fit.result for fit in fits}
 
 
@@ -126,11 +129,14 @@ class SchoolSetting:
         objective: FairnessObjective | None = None,
         config: DCAConfig | None = None,
         max_workers: int | None = None,
+        executor: str | None = None,
     ) -> dict[float, DCAResult]:
         """Fit one bonus vector per selection fraction in ``ks`` in a single batch.
 
         This is the Figure 1 / Figure 4a "k known in advance" workload routed
         through :meth:`repro.core.DCA.fit_many`; results are keyed by ``k``.
+        ``executor``/``max_workers`` select and size the batch backend
+        (``"process"`` runs the fits on the shared-memory process pool).
         """
         return _sweep_fits(
             self.fairness_attributes,
@@ -140,14 +146,23 @@ class SchoolSetting:
             ks,
             objective,
             max_workers,
+            executor,
         )
 
     def fit_dca_batch(
-        self, specs: list[FitSpec], max_workers: int | None = None
+        self,
+        specs: list[FitSpec],
+        max_workers: int | None = None,
+        executor: str | None = None,
     ) -> list[BatchFitResult]:
-        """Run a heterogeneous batch of DCA fits (the ablation workloads)."""
+        """Run a heterogeneous batch of DCA fits (the ablation workloads).
+
+        ``executor`` selects the :meth:`repro.core.DCA.fit_many` backend.
+        """
         dca = DCA(self.fairness_attributes, self.rubric, k=DEFAULT_K, config=self.dca_config)
-        return dca.fit_many(self.train.table, specs=specs, max_workers=max_workers)
+        return dca.fit_many(
+            self.train.table, specs=specs, max_workers=max_workers, executor=executor
+        )
 
     def compensated_scores(self, which: str, bonus: BonusVector) -> np.ndarray:
         return bonus.apply(self.cohort(which).table, self.base_scores(which))
@@ -208,11 +223,13 @@ class CompasSetting:
         objective: FairnessObjective | None = None,
         config: DCAConfig | None = None,
         max_workers: int | None = None,
+        executor: str | None = None,
     ) -> dict[float, DCAResult]:
         """Fit one bonus vector per selection fraction in ``ks`` in a single batch.
 
         The per-k COMPAS workloads (Figure 10a/10b) routed through
         :meth:`repro.core.DCA.fit_many`; results are keyed by ``k``.
+        ``executor``/``max_workers`` select and size the batch backend.
         """
         return _sweep_fits(
             self.race_attributes,
@@ -222,11 +239,18 @@ class CompasSetting:
             ks,
             objective,
             max_workers,
+            executor,
         )
 
     def fit_dca_batch(
-        self, specs: list[FitSpec], max_workers: int | None = None
+        self,
+        specs: list[FitSpec],
+        max_workers: int | None = None,
+        executor: str | None = None,
     ) -> list[BatchFitResult]:
-        """Run a heterogeneous batch of DCA fits against the release ranking."""
+        """Run a heterogeneous batch of DCA fits against the release ranking.
+
+        ``executor`` selects the :meth:`repro.core.DCA.fit_many` backend.
+        """
         dca = DCA(self.race_attributes, self.ranking_function, k=DEFAULT_K, config=self.dca_config)
-        return dca.fit_many(self.table, specs=specs, max_workers=max_workers)
+        return dca.fit_many(self.table, specs=specs, max_workers=max_workers, executor=executor)

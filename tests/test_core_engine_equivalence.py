@@ -153,6 +153,38 @@ class _TableOnlyObjective(FairnessObjective):
         return DisparityResult(self.attribute_names, values)
 
 
+class TestProcessBackendEquivalence:
+    """The shared-memory process backend closes the loop with both engines.
+
+    ``fit_many(executor="process")`` must agree bitwise with per-job
+    ``DCA.fit`` runs under the *table* engine: worker results travel
+    process → array plane → table plane without a single bit of drift.
+    """
+
+    CONFIG = DCAConfig(seed=23, iterations=30, refinement_iterations=40, sample_size=300)
+
+    def test_process_backend_matches_table_engine_fits(self, school_setup):
+        table, rubric, attributes = school_setup
+        ks = (0.05, 0.1)
+        seeds = (3, 4)
+        dca = DCA(attributes, rubric, k=0.05, config=self.CONFIG)
+        batch = dca.fit_many(table, ks=ks, seeds=seeds, executor="process", max_workers=2)
+        solo_results = [
+            DCA(
+                attributes,
+                rubric,
+                k=k,
+                config=replace(self.CONFIG, seed=seed, engine="table"),
+            ).fit(table)
+            for k in ks
+            for seed in seeds
+        ]
+        assert len(batch) == len(solo_results)
+        for entry, solo in zip(batch, solo_results):
+            assert np.array_equal(entry.result.raw_bonus.values, solo.raw_bonus.values)
+            assert np.array_equal(entry.result.bonus.values, solo.bonus.values)
+
+
 class TestCustomObjectiveFallback:
     def test_custom_objective_runs_under_array_engine(self):
         table = _synthetic_population(1200)

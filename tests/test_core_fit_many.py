@@ -1,4 +1,4 @@
-"""Tests for the batched DCA.fit_many API."""
+"""Tests for the batched DCA.fit_many API and its execution backends."""
 
 from __future__ import annotations
 
@@ -9,12 +9,15 @@ import pytest
 
 from repro.core import (
     DCA,
+    CompiledObjectiveCache,
     DCAConfig,
     DisparityObjective,
+    DisparityResult,
     ExposureGapObjective,
+    FairnessObjective,
     FitSpec,
 )
-from repro.ranking import ColumnScore
+from repro.ranking import ColumnScore, selection_mask
 from repro.tabular import Table
 
 
@@ -111,3 +114,172 @@ class TestParallel:
         entry = _dca().fit_many(population, ks=(0.25,))[0]
         assert entry.bonus is entry.result.bonus
         assert entry.label is None
+
+
+class _SignatureLessObjective(FairnessObjective):
+    """A custom objective without a signature: exercises the process fallback."""
+
+    def evaluate(self, table, scores, k):
+        mask = selection_mask(np.asarray(scores, dtype=float), k)
+        values = np.zeros(len(self.attribute_names))
+        for i, name in enumerate(self.attribute_names):
+            member = table.numeric(name) > 0.5
+            if member.any():
+                values[i] = float(mask[member].mean() - mask.mean())
+        return DisparityResult(self.attribute_names, values)
+
+
+def _raw_values(batch):
+    return [entry.result.raw_bonus.values for entry in batch]
+
+
+class TestExecutors:
+    """The executor backends must be interchangeable, bit for bit."""
+
+    def test_unknown_executor_rejected(self, population):
+        with pytest.raises(ValueError, match="executor"):
+            _dca().fit_many(population, seeds=(1, 2), executor="gpu")
+
+    def test_named_executors_match_serial(self, population):
+        dca = _dca()
+        serial = dca.fit_many(population, seeds=(1, 2, 3), executor="serial")
+        for executor in ("thread", "process"):
+            batch = dca.fit_many(
+                population, seeds=(1, 2, 3), executor=executor, max_workers=2
+            )
+            for left, right in zip(serial, batch):
+                assert np.array_equal(
+                    left.result.raw_bonus.values, right.result.raw_bonus.values
+                ), executor
+
+    def test_process_eight_job_grid_bitwise_identical(self, population):
+        """The acceptance grid: 8 seeded jobs, process == serial bitwise."""
+        dca = _dca()
+        serial = dca.fit_many(population, ks=(0.1, 0.2), seeds=(1, 2, 3, 4))
+        process = dca.fit_many(
+            population, ks=(0.1, 0.2), seeds=(1, 2, 3, 4), executor="process"
+        )
+        assert len(serial) == 8
+        assert [(e.k, e.seed) for e in serial] == [(e.k, e.seed) for e in process]
+        for left, right in zip(serial, process):
+            assert np.array_equal(
+                left.result.raw_bonus.values, right.result.raw_bonus.values
+            )
+            assert np.array_equal(left.result.bonus.values, right.result.bonus.values)
+            assert left.result.sample_size == right.result.sample_size
+            for trace_l, trace_r in zip(left.result.traces, right.result.traces):
+                assert trace_l.phase == trace_r.phase
+                assert np.array_equal(trace_l.bonus_history, trace_r.bonus_history)
+
+    def test_process_mixed_objectives(self, population):
+        objectives = (DisparityObjective(("protected",)), ExposureGapObjective(("protected",)))
+        serial = _dca().fit_many(population, objectives=objectives)
+        process = _dca().fit_many(population, objectives=objectives, executor="process")
+        for left, right in zip(serial, process):
+            assert np.array_equal(
+                left.result.raw_bonus.values, right.result.raw_bonus.values
+            )
+
+    def test_process_rule_based_sample_size(self, population):
+        """sample_size=None exercises the parent-side max(1/k, 1/r) planning."""
+        config = replace(FAST, sample_size=None)
+        serial = _dca(config).fit_many(population, seeds=(1, 2))
+        process = _dca(config).fit_many(population, seeds=(1, 2), executor="process")
+        for left, right in zip(serial, process):
+            assert left.result.sample_size == right.result.sample_size
+            assert np.array_equal(
+                left.result.raw_bonus.values, right.result.raw_bonus.values
+            )
+
+    def test_process_falls_back_for_signatureless_objectives(self, population):
+        """Custom objectives without a signature run in the parent, same results."""
+        objective = _SignatureLessObjective(("protected",))
+        assert objective.signature() is None
+        specs = [FitSpec(seed=1, objective=objective), FitSpec(seed=2)]
+        serial = _dca().fit_many(population, specs=specs)
+        process = _dca().fit_many(population, specs=specs, executor="process")
+        for left, right in zip(serial, process):
+            assert np.array_equal(
+                left.result.raw_bonus.values, right.result.raw_bonus.values
+            )
+
+    def test_process_falls_back_for_table_engine_jobs(self, population):
+        """engine="table" jobs cannot ride the array plane; results still match."""
+        specs = [
+            FitSpec(seed=1, config=replace(FAST, engine="table")),
+            FitSpec(seed=1),
+        ]
+        serial = _dca().fit_many(population, specs=specs)
+        process = _dca().fit_many(population, specs=specs, executor="process")
+        for left, right in zip(serial, process):
+            assert np.array_equal(
+                left.result.raw_bonus.values, right.result.raw_bonus.values
+            )
+        # And the table-engine job agrees with the array-engine job (the
+        # engines are bitwise equivalent for the same seed).
+        assert np.array_equal(
+            process[0].result.raw_bonus.values, process[1].result.raw_bonus.values
+        )
+
+
+class TestObjectiveCache:
+    def test_batch_compiles_each_signature_once(self, population):
+        cache = CompiledObjectiveCache()
+        dca = DCA(
+            ["protected"], ColumnScore("score"), k=0.2, config=FAST, objective_cache=cache
+        )
+        dca.fit_many(population, seeds=(1, 2, 3, 4))
+        assert cache.misses == 1
+        assert cache.hits == 3
+        assert len(cache) == 1
+
+    def test_cache_persists_across_fit_many_calls(self, population):
+        cache = CompiledObjectiveCache()
+        dca = DCA(
+            ["protected"], ColumnScore("score"), k=0.2, config=FAST, objective_cache=cache
+        )
+        dca.fit_many(population, ks=(0.1, 0.2))
+        dca.fit_many(population, ks=(0.3, 0.4))
+        assert cache.misses == 1
+        assert cache.hits == 3
+
+    def test_cached_results_identical_to_uncached(self, population):
+        cached = DCA(
+            ["protected"],
+            ColumnScore("score"),
+            k=0.2,
+            config=FAST,
+            objective_cache=CompiledObjectiveCache(),
+        ).fit_many(population, seeds=(5, 6))
+        plain = [
+            DCA(
+                ["protected"], ColumnScore("score"), k=0.2, config=replace(FAST, seed=seed)
+            ).fit(population)
+            for seed in (5, 6)
+        ]
+        for entry, solo in zip(cached, plain):
+            assert np.array_equal(entry.result.raw_bonus.values, solo.raw_bonus.values)
+
+    def test_distinct_populations_do_not_collide(self, population):
+        cache = CompiledObjectiveCache()
+        other = population.take(np.arange(population.num_rows // 2))
+        dca = DCA(
+            ["protected"], ColumnScore("score"), k=0.2, config=FAST, objective_cache=cache
+        )
+        dca.fit_many(population, seeds=(1,))
+        dca.fit_many(other, seeds=(1,))
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_entries_evicted_when_population_dies(self, population):
+        import gc
+
+        cache = CompiledObjectiveCache()
+        mortal = population.take(np.arange(500))
+        DCA(
+            ["protected"], ColumnScore("score"), k=0.2, config=FAST, objective_cache=cache
+        ).fit_many(mortal, seeds=(1,))
+        assert len(cache) == 1
+        del mortal
+        gc.collect()
+        assert len(cache) == 0
