@@ -32,6 +32,20 @@ def main() -> None:
     )
     print(result.format())
 
+    # The same pipeline with schools proposing (the school-optimal stable
+    # matching) on the vectorized round-based engine: comparing the two
+    # rank-of-match tables shows what the choice of proposing side costs
+    # students.
+    school_optimal = matching_admissions.run(
+        num_students=NUM_APPLICANTS,
+        num_schools=NUM_SCHOOLS,
+        list_length=4,
+        engine="vector",
+        proposing="schools",
+    )
+    print()
+    print(school_optimal.format())
+
 
 if __name__ == "__main__":
     main()

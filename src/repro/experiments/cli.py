@@ -14,6 +14,11 @@ Run a sweep-heavy experiment on the shared-memory process pool::
 
     repro-experiments run fig4 --executor process --workers 4
 
+Run the admissions match on the vectorized round-based engine, with schools
+proposing (the school-optimal matching)::
+
+    repro-experiments run matching --engine vector --proposing schools
+
 Run everything at reduced scale and write the formatted output to a file::
 
     repro-experiments run-all --num-students 10000 --output results.txt
@@ -26,6 +31,7 @@ import inspect
 import sys
 from typing import Sequence
 
+from ..matching import ENGINES, PROPOSING_SIDES
 from . import EXPERIMENT_RUNNERS
 from .harness import ExperimentResult
 
@@ -54,6 +60,26 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="pool size for the thread/process executors (default: one per job, capped at CPUs)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help=(
+            "deferred-acceptance engine for experiments that run a match: "
+            "'heap' (sequential), 'vector' (round-based, fastest at district "
+            "scale), or 'reference' (slow pure-Python twin)"
+        ),
+    )
+    parser.add_argument(
+        "--proposing",
+        choices=PROPOSING_SIDES,
+        default=None,
+        help=(
+            "which side proposes in deferred acceptance: 'students' "
+            "(student-optimal matching, the default) or 'schools' "
+            "(school-optimal matching)"
+        ),
+    )
     parser.add_argument("--output", default=None, help="write the formatted result to a file")
 
 
@@ -80,23 +106,30 @@ def _run_one(
     num_students: int | None,
     executor: str | None = None,
     workers: int | None = None,
+    engine: str | None = None,
+    proposing: str | None = None,
 ) -> ExperimentResult:
     """Invoke a runner, forwarding only the options its signature supports.
 
     Experiments differ in what they can vary (the COMPAS figures have no
-    ``num_students``; single-fit experiments have no batch backend), so the
-    CLI inspects each runner instead of forcing one signature on all of
-    them.
+    ``num_students``; single-fit experiments have no batch backend; only the
+    matching experiment runs deferred acceptance), so the CLI inspects each
+    runner instead of forcing one signature on all of them.
     """
     runner = EXPERIMENT_RUNNERS[name]
     parameters = inspect.signature(runner).parameters
-    kwargs: dict[str, object] = {}
-    if num_students is not None and "num_students" in parameters:
-        kwargs["num_students"] = num_students
-    if executor is not None and "executor" in parameters:
-        kwargs["executor"] = executor
-    if workers is not None and "max_workers" in parameters:
-        kwargs["max_workers"] = workers
+    options = {
+        "num_students": num_students,
+        "executor": executor,
+        "max_workers": workers,
+        "engine": engine,
+        "proposing": proposing,
+    }
+    kwargs = {
+        key: value
+        for key, value in options.items()
+        if value is not None and key in parameters
+    }
     return runner(**kwargs)
 
 
@@ -120,13 +153,29 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        result = _run_one(args.experiment, args.num_students, args.executor, args.workers)
+        result = _run_one(
+            args.experiment,
+            args.num_students,
+            args.executor,
+            args.workers,
+            args.engine,
+            args.proposing,
+        )
         _emit(result.format(), args.output)
         return 0
     if args.command == "run-all":
         outputs = []
         for name in sorted(EXPERIMENT_RUNNERS):
-            outputs.append(_run_one(name, args.num_students, args.executor, args.workers).format())
+            outputs.append(
+                _run_one(
+                    name,
+                    args.num_students,
+                    args.executor,
+                    args.workers,
+                    args.engine,
+                    args.proposing,
+                ).format()
+            )
         _emit("\n\n".join(outputs), args.output)
         return 0
     return 2

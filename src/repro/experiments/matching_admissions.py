@@ -34,7 +34,12 @@ import numpy as np
 
 from ..core import LogDiscountedDisparityObjective
 from ..core.dca import FitSpec
-from ..matching import deferred_acceptance, generate_student_preferences
+from ..matching import (
+    ENGINES,
+    PROPOSING_SIDES,
+    deferred_acceptance,
+    generate_student_preferences,
+)
 from ..tabular import Table
 from .harness import ExperimentResult
 from .setting import SchoolSetting
@@ -64,17 +69,28 @@ class MatchingSetting:
         screening_noise: float = 0.05,
         seed: int = 11,
         engine: str = "heap",
+        proposing: str = "students",
     ) -> None:
         if num_schools <= 0:
             raise ValueError(f"num_schools must be positive, got {num_schools}")
         if not 0.0 < seat_fraction <= 1.0:
             raise ValueError(f"seat_fraction must be in (0, 1], got {seat_fraction}")
+        # Validate the matching knobs eagerly: the per-school DCA fits run
+        # before the match does, and a typo'd engine should not cost minutes
+        # of fitting before it fails.
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if proposing not in PROPOSING_SIDES:
+            raise ValueError(
+                f"unknown proposing side {proposing!r}; expected one of {PROPOSING_SIDES}"
+            )
         self.setting = SchoolSetting(num_students=num_students)
         self.num_schools = int(num_schools)
         self.list_length = int(list_length)
         self.screening_noise = float(screening_noise)
         self.seed = int(seed)
         self.engine = engine
+        self.proposing = proposing
         num_applicants = self.setting.test.table.num_rows
         self.capacities = [
             int(seat_fraction * num_applicants / num_schools)
@@ -126,7 +142,11 @@ class MatchingSetting:
 
     def match(self, score_plane: np.ndarray, preferences: np.ndarray):
         return deferred_acceptance(
-            preferences, score_plane, self.capacities, engine=self.engine
+            preferences,
+            score_plane,
+            self.capacities,
+            engine=self.engine,
+            proposing=self.proposing,
         )
 
 
@@ -179,16 +199,26 @@ def run(
     max_k: float = 0.5,
     seat_fraction: float = DEFAULT_SEAT_FRACTION,
     engine: str = "heap",
+    proposing: str = "students",
     max_workers: int | None = None,
     executor: str | None = None,
 ) -> ExperimentResult:
-    """Run the full DCA → deferred-acceptance → demographics pipeline."""
+    """Run the full DCA → deferred-acceptance → demographics pipeline.
+
+    ``engine`` selects the deferred-acceptance engine (``"heap"``,
+    ``"vector"``, or ``"reference"`` — identical matchings, different
+    speed), and ``proposing`` the side that proposes: ``"students"``
+    (default, the student-optimal matching — what the NYC match runs) or
+    ``"schools"`` (the school-optimal matching, useful for quantifying how
+    much the choice of proposing side costs students).
+    """
     setting = MatchingSetting(
         num_students=num_students,
         num_schools=num_schools,
         list_length=list_length,
         seat_fraction=seat_fraction,
         engine=engine,
+        proposing=proposing,
     )
     attributes = setting.setting.fairness_attributes
     result = ExperimentResult(
@@ -237,7 +267,8 @@ def run(
     for fit in fits:
         result.add_note(f"{fit.label} bonus vector: {fit.result.as_dict()}")
     result.add_note(
-        f"engine={engine}; proposals: baseline={baseline_match.proposals_made}, "
+        f"engine={engine}; proposing={proposing}; proposals: "
+        f"baseline={baseline_match.proposals_made}, "
         f"compensated={compensated_match.proposals_made}"
     )
     result.add_note(

@@ -1,15 +1,26 @@
 """Deferred-acceptance matching substrate for the school-admissions scenario.
 
-``deferred_acceptance`` runs the student-proposing match on a heap-backed
-array plane by default (``engine="heap"``, O(P log c)); the original
-pure-Python implementation survives as ``engine="reference"`` and the two are
-proven to produce the identical student-optimal stable matching.
-``generate_student_preferences`` builds district-size preference lists from a
-vectorized popularity-plus-Gumbel utility model.  The end-to-end admissions
-workload lives in :mod:`repro.experiments.matching_admissions`.
+``deferred_acceptance`` runs the match on a heap-backed array plane by
+default (``engine="heap"``, O(P log c)); ``engine="vector"`` is the
+round-based engine with no per-proposal Python loop (an order of magnitude
+faster at district scale), and the original pure-Python implementation
+survives as ``engine="reference"``.  ``proposing="students"`` (default)
+returns the student-optimal stable matching, ``proposing="schools"`` the
+school-optimal one; every engine supports both sides and all of them are
+proven to produce identical matchings (``tests/test_matching.py``,
+``tests/test_matching_properties.py``).  ``generate_student_preferences``
+builds district-size preference lists from a vectorized
+popularity-plus-Gumbel utility model.  The end-to-end admissions workload
+lives in :mod:`repro.experiments.matching_admissions`.
 """
 
-from .deferred_acceptance import MatchResult, deferred_acceptance
+from .deferred_acceptance import ENGINES, PROPOSING_SIDES, MatchResult, deferred_acceptance
 from .preferences import generate_student_preferences
 
-__all__ = ["MatchResult", "deferred_acceptance", "generate_student_preferences"]
+__all__ = [
+    "ENGINES",
+    "PROPOSING_SIDES",
+    "MatchResult",
+    "deferred_acceptance",
+    "generate_student_preferences",
+]

@@ -1,4 +1,4 @@
-"""Student-proposing deferred acceptance (Gale–Shapley) matching.
+"""Deferred-acceptance (Gale–Shapley) matching: student- and school-proposing.
 
 The NYC high-school admission process that motivates the paper matches
 students to schools with a deferred-acceptance algorithm: students submit a
@@ -26,28 +26,78 @@ Engines
     is a binary min-heap keyed by ``(score, -student)`` so the weakest held
     student sits at the top.  A proposal to a full school is an O(log c)
     ``heapreplace`` instead of an O(c) roster rescan, making the whole match
-    O(P log c) for P proposals — the difference between seconds and minutes
-    on 100k-student cohorts.
+    O(P log c) for P proposals.  It still executes one Python iteration per
+    proposal.
+
+``"vector"``
+    The round-based engine: no per-proposal Python loop at all.  Each round
+    gathers **every** unmatched student's next listed school through a
+    pointer array, filters the proposals against per-school admission
+    cutoffs, groups the survivors (plus the affected schools' current
+    holders) into per-school segments with one ``np.lexsort``, and admits the
+    top ``capacity`` of each segment.  Per-round cost is a handful of NumPy
+    kernels over the active students, so district-scale matches are bound by
+    memory bandwidth rather than interpreter overhead (several times faster
+    than ``"heap"`` from ~100k students up; see
+    ``benchmarks/test_bench_matching.py``).  On adversarially serial
+    instances (one long bump chain, one proposer per round) the heap engine
+    remains the better complexity, which is why both are first-class.
 
 ``"reference"``
     The original pure-Python implementation: per-school ``dict`` rosters and
     a full ``min()`` rescan on every bump, i.e. O(P × c).  It is kept as a
-    readable reference and is proven equivalent to the heap engine on
-    randomized instances by the test-suite (student-proposing deferred
-    acceptance has a *unique* student-optimal stable matching once school
-    preferences are made strict by the ``-student`` tie-break, so the two
-    engines must agree exactly).
+    readable reference.
+
+All three engines produce the **identical** matching: the proposing side's
+optimal stable matching is unique once both sides' preferences are strict
+(see *Tie-breaking* below), so the randomized differential suite in
+``tests/test_matching.py`` and the axiom suite in
+``tests/test_matching_properties.py`` pin them to exact equality —
+assignment, rosters, matched ranks, and proposal counts.
+
+Proposing side
+--------------
+
+``proposing="students"`` (default) runs student-proposing deferred acceptance
+and returns the *student-optimal* stable matching: every student weakly
+prefers it to any other stable matching.  ``proposing="schools"`` runs the
+dual procedure — schools propose down their ranked applicant lists, students
+hold the best offer from a school they listed — and returns the
+*school-optimal* stable matching.  Both variants exist for every engine, both
+respect exactly the same acceptability rules (a student a school scores
+``NaN`` and a school a student does not list can never be matched), and by
+the rural-hospitals theorem the two variants match the same set of students
+and fill each school to the same count; only *who* goes *where* shifts in the
+schools' favour.
+
+Tie-breaking
+------------
+
+School preferences are made strict before any engine runs: equal scores
+break in favour of the **lower student index**, i.e. school ``j`` prefers
+student ``a`` to student ``b`` iff ``(score[j, a], -a) > (score[j, b], -b)``.
+Student preferences are strict by construction (a preference list is an
+order).  Every engine and both proposing sides implement this identically —
+the heap engine keys its heaps on ``(score, -student)``, the vector engine
+sorts segments by ``(-score, student)``, and the school-proposing variants
+issue proposals in exactly that order — so results are deterministic and
+bitwise-identical across engines even on heavily tied integer scores
+(pinned by ``tests/test_matching.py``).
 
 Proposal accounting
 -------------------
 
-``proposals_made`` counts every application that a school with at least one
-seat actually considers — including applications it rejects because the
-student is unacceptable.  Applications to zero-capacity schools are skipped
-without being counted: such a school can never consider anyone, and counting
-them would inflate the complexity diagnostic with no-ops.  Both engines
-implement the same accounting, and because the student-optimal matching is
-order-independent, both report the same count.
+``proposals_made`` counts every proposal the *receiving* side actually
+considers.  Student-proposing: applications to schools with at least one
+seat are counted — including applications rejected because the student is
+unacceptable — while applications to zero-capacity schools are skipped
+without being counted (such a school can never consider anyone).
+School-proposing, symmetrically: offers to students with a non-empty
+preference list are counted — including offers the student rejects because
+the school is not on their list — while offers to students who listed
+nothing are skipped without being counted.  Deferred acceptance makes the
+same set of proposals regardless of execution order, so every engine reports
+the same count.
 """
 
 from __future__ import annotations
@@ -58,9 +108,12 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["MatchResult", "deferred_acceptance"]
+__all__ = ["ENGINES", "PROPOSING_SIDES", "MatchResult", "deferred_acceptance"]
 
-_ENGINES = ("heap", "reference")
+#: Valid ``engine`` arguments, fastest-typical first.
+ENGINES = ("heap", "vector", "reference")
+#: Valid ``proposing`` arguments.
+PROPOSING_SIDES = ("students", "schools")
 
 
 @dataclass(frozen=True)
@@ -76,9 +129,9 @@ class MatchResult:
         For each school, the list of matched student indices, ordered by the
         school's preference (best first).
     proposals_made:
-        Total number of proposals considered by schools with capacity (a
-        useful complexity diagnostic; see the module docstring for the exact
-        accounting).
+        Total number of proposals considered by the receiving side (a useful
+        complexity diagnostic; see the module docstring for the exact
+        accounting on each proposing side).
     matched_rank:
         ``matched_rank[s]`` is the 0-based position of student ``s``'s
         assigned school in their preference list (0 = first choice), or
@@ -122,10 +175,68 @@ class MatchResult:
         return counts
 
 
+class _Preferences:
+    """Validated student preference lists, in list and padded-matrix form.
+
+    The sequential engines iterate per-student Python lists; the vector
+    engine indexes a ``(num_students, width)`` ``int64`` matrix right-padded
+    with ``-1``.  Whichever form the caller supplied is kept as-is and the
+    other is built lazily, so a padded-matrix input (the form
+    :func:`~repro.matching.generate_student_preferences` emits at district
+    scale) reaches the vector engine without a Python round-trip.
+    """
+
+    def __init__(
+        self, lists: list[Sequence[int]] | None = None, matrix: np.ndarray | None = None
+    ) -> None:
+        if (lists is None) == (matrix is None):
+            raise ValueError("exactly one of lists/matrix must be provided")
+        self._lists = lists
+        self._matrix = matrix
+        self._lengths: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        if self._lists is not None:
+            return len(self._lists)
+        return self._matrix.shape[0]
+
+    @property
+    def lists(self) -> list[Sequence[int]]:
+        if self._lists is None:
+            rows = self._matrix.tolist()
+            self._lists = [
+                row[:length] for row, length in zip(rows, self.lengths.tolist())
+            ]
+        return self._lists
+
+    @property
+    def matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            lengths = self.lengths
+            width = int(lengths.max()) if lengths.size else 0
+            matrix = np.full((len(self._lists), width), -1, dtype=np.int64)
+            for row, prefs in enumerate(self._lists):
+                if len(prefs):
+                    matrix[row, : len(prefs)] = prefs
+            self._matrix = matrix
+        return self._matrix
+
+    @property
+    def lengths(self) -> np.ndarray:
+        if self._lengths is None:
+            if self._matrix is not None:
+                self._lengths = (self._matrix >= 0).sum(axis=1).astype(np.int64)
+            else:
+                self._lengths = np.asarray(
+                    [len(prefs) for prefs in self._lists], dtype=np.int64
+                )
+        return self._lengths
+
+
 def _normalize_preferences(
     student_preferences: Sequence[Sequence[int]] | np.ndarray, num_schools: int
-) -> list[Sequence[int]]:
-    """Validate preference lists and return them as per-student sequences.
+) -> _Preferences:
+    """Validate preference lists and wrap them in :class:`_Preferences`.
 
     A 2-D integer array is accepted as a padded preference matrix: each row is
     one student's list, right-padded with ``-1``.  Padding must be trailing —
@@ -143,16 +254,14 @@ def _normalize_preferences(
         valid = matrix >= 0
         if matrix.size and np.any(valid[:, 1:] & ~valid[:, :-1]):
             raise ValueError("preference matrix padding (-1) must be trailing")
-        lengths = valid.sum(axis=1)
-        rows = matrix.tolist()
-        return [row[:length] for row, length in zip(rows, lengths)]
+        return _Preferences(matrix=matrix)
     for student, preferences in enumerate(student_preferences):
         for school in preferences:
             if not 0 <= school < num_schools:
                 raise ValueError(
                     f"student {student} lists unknown school {school} (num_schools={num_schools})"
                 )
-    return list(student_preferences)
+    return _Preferences(lists=list(student_preferences))
 
 
 def _normalize_rankings(
@@ -204,6 +313,32 @@ def _validate_capacities(capacities: Sequence[int]) -> list[int]:
     return capacities
 
 
+def _build_rosters(
+    assignment: np.ndarray, score_plane: np.ndarray, num_schools: int
+) -> tuple[tuple[int, ...], ...]:
+    """Per-school rosters from a final assignment, best student first.
+
+    One lexsort over the matched students orders every roster by the shared
+    strict school preference ``(-score, student)``; ``searchsorted`` then
+    splits the school-major order into per-school tuples.
+    """
+    matched = np.flatnonzero(assignment >= 0)
+    if not matched.size:
+        return tuple(() for _ in range(num_schools))
+    schools = assignment[matched]
+    scores = score_plane[schools, matched]
+    order = np.lexsort((matched, -scores, schools))
+    students = matched[order].tolist()
+    bounds = np.searchsorted(schools[order], np.arange(num_schools + 1))
+    return tuple(
+        tuple(students[bounds[school] : bounds[school + 1]])
+        for school in range(num_schools)
+    )
+
+
+# ----------------------------------------------------------------------
+# Student-proposing engines
+# ----------------------------------------------------------------------
 def _run_heap(
     preferences: list[Sequence[int]],
     score_plane: np.ndarray,
@@ -267,6 +402,197 @@ def _run_heap(
         rosters=rosters,
         proposals_made=proposals,
         matched_rank=np.asarray(matched_rank, dtype=np.int64),
+    )
+
+
+class _RosterRuns:
+    """Per-school tentative rosters as two sorted runs each.
+
+    Every school's roster is held as a large *main* run plus a small *edge*
+    run of recently-changed entries, both sorted by the strict school
+    preference ``(-score, student)``.  The point of the split is the bump
+    bound of deferred acceptance: ``p`` incoming proposals can displace at
+    most the ``p`` weakest held students, so a round only ever needs the
+    last ``min(p, len(run))`` entries of each run — the rest of the roster
+    is provably safe and is never re-sorted.  Pool survivors are folded into
+    the edge run (one small sort); when the edge outgrows a quarter of the
+    main run the two are compacted into a fresh main run.
+    """
+
+    def __init__(self, num_schools: int) -> None:
+        empty_students = np.empty(0, dtype=np.int64)
+        empty_scores = np.empty(0, dtype=np.float64)
+        self.main_students = [empty_students] * num_schools
+        self.main_scores = [empty_scores] * num_schools
+        self.edge_students = [empty_students] * num_schools
+        self.edge_scores = [empty_scores] * num_schools
+
+    def held(self, school: int) -> int:
+        return self.main_students[school].size + self.edge_students[school].size
+
+    def split_tail(self, school: int, bound: int) -> tuple[np.ndarray, np.ndarray]:
+        """Pop the up-to-``bound`` weakest entries of each run.
+
+        Returns the pooled tail (students, scores); the runs keep only their
+        untouched (provably safe) heads.
+        """
+        main_students = self.main_students[school]
+        edge_students = self.edge_students[school]
+        take_main = min(bound, main_students.size)
+        take_edge = min(bound, edge_students.size)
+        students = np.concatenate(
+            [main_students[main_students.size - take_main :],
+             edge_students[edge_students.size - take_edge :]]
+        )
+        scores = np.concatenate(
+            [self.main_scores[school][main_students.size - take_main :],
+             self.edge_scores[school][edge_students.size - take_edge :]]
+        )
+        self.main_students[school] = main_students[: main_students.size - take_main]
+        self.main_scores[school] = self.main_scores[school][: main_students.size - take_main]
+        self.edge_students[school] = edge_students[: edge_students.size - take_edge]
+        self.edge_scores[school] = self.edge_scores[school][: edge_students.size - take_edge]
+        return students, scores
+
+    def absorb(self, school: int, students: np.ndarray, scores: np.ndarray) -> None:
+        """Fold newly admitted entries into the edge run (compacting if large)."""
+        students = np.concatenate([self.edge_students[school], students])
+        scores = np.concatenate([self.edge_scores[school], scores])
+        main_size = self.main_students[school].size
+        if students.size > max(64, main_size // 4):
+            students = np.concatenate([self.main_students[school], students])
+            scores = np.concatenate([self.main_scores[school], scores])
+            order = np.lexsort((students, -scores))
+            self.main_students[school] = students[order]
+            self.main_scores[school] = scores[order]
+            self.edge_students[school] = students[:0]
+            self.edge_scores[school] = scores[:0]
+        else:
+            order = np.lexsort((students, -scores))
+            self.edge_students[school] = students[order]
+            self.edge_scores[school] = scores[order]
+
+    def weakest(self, school: int) -> tuple[float, int]:
+        """The ``(score, student)`` of the school's weakest held student."""
+        main_students = self.main_students[school]
+        edge_students = self.edge_students[school]
+        if not main_students.size:
+            return float(self.edge_scores[school][-1]), int(edge_students[-1])
+        if not edge_students.size:
+            return float(self.main_scores[school][-1]), int(main_students[-1])
+        main_key = (float(self.main_scores[school][-1]), -int(main_students[-1]))
+        edge_key = (float(self.edge_scores[school][-1]), -int(edge_students[-1]))
+        weaker = min(main_key, edge_key)
+        return weaker[0], -weaker[1]
+
+
+def _run_vector(
+    preferences: _Preferences,
+    score_plane: np.ndarray,
+    capacities: list[int],
+) -> MatchResult:
+    """Round-based vectorized match: every round batches all open proposals.
+
+    Per round: (a) gather each active (unmatched, list not exhausted)
+    student's next school through the pointer array; (b) drop proposals no
+    school will consider — zero-capacity schools silently, and proposals at
+    or below the target school's current admission *cutoff* (the
+    ``(score, -student)`` key of its weakest held student once full; NaN
+    scores fail every comparison and are dropped here too); (c) sort the
+    surviving proposals into per-school segments with one ``np.lexsort``
+    and resolve each segment against the bounded tail of that school's
+    roster (:class:`_RosterRuns`): ``p`` proposals can bump at most the
+    ``p`` weakest held students, so the top of the roster is never touched,
+    let alone re-sorted.  Admits take the top ``capacity`` of each merged
+    pool; everyone else returns to the active set.  Cutoffs only ever rise,
+    so the pre-filter in (b) never drops a proposal the full resolution
+    would have admitted.
+    """
+    num_students = len(preferences)
+    num_schools = len(capacities)
+    pref_matrix = preferences.matrix
+    lengths = preferences.lengths
+    caps = np.asarray(capacities, dtype=np.int64)
+    has_seats = caps > 0
+
+    next_choice = np.zeros(num_students, dtype=np.int64)
+    assignment = np.full(num_students, -1, dtype=np.int64)
+    matched_rank = np.full(num_students, -1, dtype=np.int64)
+    # Admission cutoffs: the (score, -student) key of each full school's
+    # weakest held student.  (-inf, num_students) means "not yet full": any
+    # non-NaN score from any student beats it.
+    cutoff_score = np.full(num_schools, -np.inf)
+    cutoff_student = np.full(num_schools, num_students, dtype=np.int64)
+    rosters = _RosterRuns(num_schools)
+    proposals = 0
+
+    active = np.flatnonzero(lengths > 0)
+    while active.size:
+        school = pref_matrix[active, next_choice[active]]
+        next_choice[active] += 1
+        considered = has_seats[school]
+        proposals += int(np.count_nonzero(considered))
+        scores = score_plane[school, active]
+        # Proposals that beat the school's cutoff.  NaN fails both
+        # comparisons, so unacceptable students are (counted and) dropped.
+        serious = considered & (
+            (scores > cutoff_score[school])
+            | ((scores == cutoff_score[school]) & (active < cutoff_student[school]))
+        )
+        bounced: list[np.ndarray] = [active[~serious]]
+        if serious.any():
+            proposers = active[serious]
+            target = school[serious]
+            prop_scores = scores[serious]
+            # School-major segments, each ordered by the strict school
+            # preference (score desc, student asc).
+            order = np.lexsort((proposers, -prop_scores, target))
+            seg_students = proposers[order]
+            seg_scores = prop_scores[order]
+            seg_schools = target[order]
+            boundaries = np.flatnonzero(
+                np.r_[True, seg_schools[1:] != seg_schools[:-1], True]
+            )
+            for begin, end in zip(boundaries[:-1], boundaries[1:]):
+                j = int(seg_schools[begin])
+                incoming = int(end - begin)
+                tail_students, tail_scores = rosters.split_tail(j, incoming)
+                pool_students = np.concatenate(
+                    [tail_students, seg_students[begin:end]]
+                )
+                pool_scores = np.concatenate([tail_scores, seg_scores[begin:end]])
+                pool_order = np.lexsort((pool_students, -pool_scores))
+                # The untouched roster heads are provably safe, so the pool
+                # competes for whatever seats they do not occupy.
+                seats = int(caps[j]) - rosters.held(j)
+                admit = pool_order[:seats]
+                reject = pool_order[seats:]
+                admitted_students = pool_students[admit]
+                rosters.absorb(j, admitted_students, pool_scores[admit])
+                # Re-admitted tail entries are overwritten with the identical
+                # school, so no proposer/holder split is needed here.
+                assignment[admitted_students] = j
+                if reject.size:
+                    rejected_students = pool_students[reject]
+                    assignment[rejected_students] = -1
+                    matched_rank[rejected_students] = -1
+                    bounced.append(rejected_students)
+                if rosters.held(j) == caps[j]:
+                    cutoff_score[j], cutoff_student[j] = rosters.weakest(j)
+            # matched_rank: a proposer whose assignment now equals its target
+            # was admitted this round — its rank is the (just advanced)
+            # pointer minus one.  Re-admitted holders never appear among the
+            # proposers, so their earlier ranks survive untouched.
+            fresh = seg_students[assignment[seg_students] == seg_schools]
+            matched_rank[fresh] = next_choice[fresh] - 1
+        again = np.concatenate(bounced)
+        active = again[next_choice[again] < lengths[again]]
+
+    return MatchResult(
+        assignment=assignment,
+        rosters=_build_rosters(assignment, score_plane, num_schools),
+        proposals_made=proposals,
+        matched_rank=matched_rank,
     )
 
 
@@ -341,13 +667,281 @@ def _run_reference(
     )
 
 
+# ----------------------------------------------------------------------
+# School-proposing engines
+# ----------------------------------------------------------------------
+#: held_rank sentinel meaning "this student holds no offer yet" — larger than
+#: any real preference-list position.
+_NO_OFFER = np.iinfo(np.int64).max
+
+
+def _school_proposal_order(score_plane: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per school: all students in proposal order, and the acceptable count.
+
+    A stable argsort of the negated plane orders each row by score descending
+    with ties broken by the lower student index — the same strict preference
+    every engine uses — and pushes NaN (unacceptable) students past the
+    returned count.
+    """
+    order = np.argsort(-score_plane, axis=1, kind="stable")
+    counts = np.count_nonzero(~np.isnan(score_plane), axis=1).astype(np.int64)
+    return order, counts
+
+
+def _student_rank_matrix(preferences: _Preferences, num_schools: int) -> np.ndarray:
+    """``(num_students, num_schools)`` list positions; ``-1`` = not listed.
+
+    Columns are written back-to-front so that if a list ever repeats a school
+    the *first* occurrence defines the rank, matching ``list.index``.
+    """
+    matrix = preferences.matrix
+    ranks = np.full((len(preferences), num_schools), -1, dtype=np.int64)
+    for position in range(matrix.shape[1] - 1, -1, -1):
+        column = matrix[:, position]
+        listed = np.flatnonzero(column >= 0)
+        ranks[listed, column[listed]] = position
+    return ranks
+
+
+def _schools_result(
+    assignment: np.ndarray,
+    held_rank: np.ndarray,
+    score_plane: np.ndarray,
+    num_schools: int,
+    proposals: int,
+) -> MatchResult:
+    matched = assignment >= 0
+    matched_rank = np.where(matched, held_rank, -1).astype(np.int64)
+    return MatchResult(
+        assignment=assignment.astype(np.int64, copy=False),
+        rosters=_build_rosters(assignment, score_plane, num_schools),
+        proposals_made=proposals,
+        matched_rank=matched_rank,
+    )
+
+
+def _run_heap_schools(
+    preferences: _Preferences,
+    score_plane: np.ndarray,
+    capacities: list[int],
+) -> MatchResult:
+    """Fast sequential school-proposing match.
+
+    The per-school proposal order and the per-student rank lookup are
+    precomputed on the array plane (one stable argsort of the score plane,
+    one scatter of the preference matrix), so the proposal loop itself is
+    all O(1) list operations: schools with free seats pop off a work stack
+    and walk their ranked applicant list; a student accepts when the
+    proposing school sits strictly earlier in their preference list than the
+    offer they currently hold, which frees a seat at — and re-activates —
+    their previous school.
+    """
+    num_students = len(preferences)
+    num_schools = len(capacities)
+    order, counts = _school_proposal_order(score_plane)
+    # Convert only each row's acceptable prefix: the NaN tail past counts[j]
+    # is never proposed to, so it never needs to exist as Python ints.
+    order_rows: list[list[int]] = [
+        order[school, : int(count)].tolist() for school, count in enumerate(counts)
+    ]
+    rank_rows: list[list[int]] = _student_rank_matrix(preferences, num_schools).tolist()
+    considers: list[int] = (preferences.lengths > 0).tolist()
+
+    assignment = [-1] * num_students
+    held_rank = [_NO_OFFER] * num_students
+    free = list(capacities)
+    ptr = [0] * num_schools
+    proposals = 0
+
+    stack = [j for j in range(num_schools) if free[j] > 0 and order_rows[j]]
+    while stack:
+        school = stack.pop()
+        row = order_rows[school]
+        length = len(row)
+        position = ptr[school]
+        seats = free[school]
+        while seats > 0 and position < length:
+            student = row[position]
+            position += 1
+            if not considers[student]:
+                continue  # a student listing nothing considers no offer
+            proposals += 1
+            rank = rank_rows[student][school]
+            if rank < 0 or rank >= held_rank[student]:
+                continue  # school unlisted, or no better than the held offer
+            previous = assignment[student]
+            if previous >= 0:
+                if free[previous] == 0 and ptr[previous] < len(order_rows[previous]):
+                    stack.append(previous)  # regains a seat: resume proposing
+                free[previous] += 1
+            assignment[student] = school
+            held_rank[student] = rank
+            seats -= 1
+        ptr[school] = position
+        free[school] = seats
+
+    return _schools_result(
+        np.asarray(assignment, dtype=np.int64),
+        np.asarray(held_rank, dtype=np.int64),
+        score_plane,
+        num_schools,
+        proposals,
+    )
+
+
+def _run_vector_schools(
+    preferences: _Preferences,
+    score_plane: np.ndarray,
+    capacities: list[int],
+) -> MatchResult:
+    """Round-based vectorized school-proposing match.
+
+    Each round every school with free seats proposes, in one batch, to the
+    next ``free`` students on its ranked list (ragged batches built with
+    ``np.repeat`` over the pointer array).  Offers are resolved per student:
+    among the round's offers from listed schools that beat the currently held
+    offer, the student keeps the school earliest in their list (one lexsort,
+    first entry per student segment); every switch releases a seat at the
+    student's previous school, which re-enters the round loop.
+    """
+    num_students = len(preferences)
+    num_schools = len(capacities)
+    order, counts = _school_proposal_order(score_plane)
+    ranks = _student_rank_matrix(preferences, num_schools)
+    considers = preferences.lengths > 0
+    caps = np.asarray(capacities, dtype=np.int64)
+
+    free = caps.copy()
+    ptr = np.zeros(num_schools, dtype=np.int64)
+    assignment = np.full(num_students, -1, dtype=np.int64)
+    held_rank = np.full(num_students, _NO_OFFER, dtype=np.int64)
+    proposals = 0
+
+    active = np.flatnonzero((free > 0) & (ptr < counts))
+    while active.size:
+        batch = np.minimum(free[active], counts[active] - ptr[active])
+        prop_school = np.repeat(active, batch)
+        batch_starts = np.repeat(np.cumsum(batch) - batch, batch)
+        within = np.arange(prop_school.size) - batch_starts
+        prop_student = order[prop_school, ptr[prop_school] + within]
+        ptr[active] += batch
+        considered = considers[prop_student]
+        proposals += int(np.count_nonzero(considered))
+        prop_rank = ranks[prop_student, prop_school]
+        # An offer is serious when the student lists the school earlier than
+        # whatever they currently hold (_NO_OFFER when unmatched).
+        serious = considered & (prop_rank >= 0) & (prop_rank < held_rank[prop_student])
+        if serious.any():
+            students = prop_student[serious]
+            offers = prop_school[serious]
+            offer_rank = prop_rank[serious]
+            # Best offer per student: student-major, then rank ascending
+            # (ranks are strict — two schools cannot share a list position).
+            win_order = np.lexsort((offer_rank, students))
+            first = np.empty(students.size, dtype=bool)
+            first[0] = True
+            sorted_students = students[win_order]
+            np.not_equal(sorted_students[1:], sorted_students[:-1], out=first[1:])
+            winners = win_order[first]
+            win_student = students[winners]
+            win_school = offers[winners]
+            previous = assignment[win_student]
+            released = previous[previous >= 0]
+            assignment[win_student] = win_school
+            held_rank[win_student] = offer_rank[winners]
+            free += np.bincount(released, minlength=num_schools)
+            free -= np.bincount(win_school, minlength=num_schools)
+        active = np.flatnonzero((free > 0) & (ptr < counts))
+
+    return _schools_result(
+        assignment, held_rank, score_plane, num_schools, proposals
+    )
+
+
+def _run_reference_schools(
+    preferences: list[Sequence[int]],
+    score_plane: np.ndarray,
+    capacities: list[int],
+) -> MatchResult:
+    """Readable pure-Python school-proposing reference.
+
+    Proposal lists are built with plain ``sorted``; a student's opinion of an
+    offer is recomputed with ``list.index`` on every proposal — obviously
+    correct, and O(list length) slower per proposal than the precomputed
+    lookups of the fast engines.
+    """
+    num_students = len(preferences)
+    num_schools = len(capacities)
+
+    proposal_order: list[list[int]] = []
+    for school in range(num_schools):
+        row = score_plane[school]
+        acceptable = [s for s in range(num_students) if not np.isnan(row[s])]
+        acceptable.sort(key=lambda s: (-float(row[s]), s))
+        proposal_order.append(acceptable)
+
+    assignment = [-1] * num_students
+    held_rank = [_NO_OFFER] * num_students
+    free = list(capacities)
+    ptr = [0] * num_schools
+    proposals = 0
+
+    stack = [j for j in range(num_schools) if free[j] > 0 and proposal_order[j]]
+    while stack:
+        school = stack.pop()
+        candidates = proposal_order[school]
+        while free[school] > 0 and ptr[school] < len(candidates):
+            student = candidates[ptr[school]]
+            ptr[school] += 1
+            prefs = preferences[student]
+            if not len(prefs):
+                continue  # a student listing nothing considers no offer
+            proposals += 1
+            if school not in prefs:
+                continue  # the student never listed this school
+            rank = list(prefs).index(school)
+            if rank >= held_rank[student]:
+                continue  # the held offer is at least as good
+            previous = assignment[student]
+            if previous >= 0:
+                if free[previous] == 0 and ptr[previous] < len(proposal_order[previous]):
+                    stack.append(previous)  # regains a seat: resume proposing
+                free[previous] += 1
+            assignment[student] = school
+            held_rank[student] = rank
+            free[school] -= 1
+
+    return _schools_result(
+        np.asarray(assignment, dtype=np.int64),
+        np.asarray(held_rank, dtype=np.int64),
+        score_plane,
+        num_schools,
+        proposals,
+    )
+
+
+_RUNNERS = {
+    ("students", "heap"): lambda prefs, plane, caps: _run_heap(prefs.lists, plane, caps),
+    ("students", "vector"): _run_vector,
+    ("students", "reference"): lambda prefs, plane, caps: _run_reference(
+        prefs.lists, plane, caps
+    ),
+    ("schools", "heap"): _run_heap_schools,
+    ("schools", "vector"): _run_vector_schools,
+    ("schools", "reference"): lambda prefs, plane, caps: _run_reference_schools(
+        prefs.lists, plane, caps
+    ),
+}
+
+
 def deferred_acceptance(
     student_preferences: Sequence[Sequence[int]] | np.ndarray,
     school_rankings: Sequence[Mapping[int, float] | Sequence[float]] | np.ndarray,
     capacities: Sequence[int],
     engine: str = "heap",
+    proposing: str = "students",
 ) -> MatchResult:
-    """Run student-proposing deferred acceptance.
+    """Run deferred acceptance (student- or school-proposing).
 
     Parameters
     ----------
@@ -363,24 +957,33 @@ def deferred_acceptance(
         marks unacceptable students), or, per school, a mapping
         ``student -> score`` / a sequence of per-student scores (higher is
         better).  Students missing from a mapping or beyond the end of a
-        short sequence are unacceptable to that school.
+        short sequence are unacceptable to that school.  Equal scores break
+        in favour of the lower student index, identically in every engine.
     capacities:
         Number of seats at each school.
     engine:
-        ``"heap"`` (default, O(P log c)) or ``"reference"`` (the original
-        O(P × c) implementation); both produce the identical student-optimal
-        stable matching.
+        ``"heap"`` (default; sequential, O(P log c)), ``"vector"`` (the
+        round-based batched engine — fastest at district scale), or
+        ``"reference"`` (the original pure-Python O(P × c) implementation).
+        All three produce the identical stable matching.
+    proposing:
+        ``"students"`` (default) returns the student-optimal stable
+        matching; ``"schools"`` runs school-proposing deferred acceptance
+        and returns the school-optimal one.
 
     Returns
     -------
     MatchResult
         The stable matching with respect to the given preferences/rankings.
     """
-    if engine not in _ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if proposing not in PROPOSING_SIDES:
+        raise ValueError(
+            f"unknown proposing side {proposing!r}; expected one of {PROPOSING_SIDES}"
+        )
     capacities = _validate_capacities(capacities)
     num_schools = len(capacities)
     preferences = _normalize_preferences(student_preferences, num_schools)
     score_plane = _normalize_rankings(school_rankings, num_schools, len(preferences))
-    run = _run_heap if engine == "heap" else _run_reference
-    return run(preferences, score_plane, capacities)
+    return _RUNNERS[proposing, engine](preferences, score_plane, capacities)

@@ -196,6 +196,31 @@ class TestSchoolExperiments:
         assert rows[0]["ddp"] == pytest.approx(expected)
         assert ddp(setting.test.table, scores, attributes) < expected
 
+    def test_matching_setting_rejects_bad_knobs_before_fitting(self):
+        # A typo'd engine/proposing must fail at construction, not after the
+        # per-school DCA fits have already burned minutes at district scale.
+        with pytest.raises(ValueError, match="unknown engine"):
+            matching_admissions.MatchingSetting(num_students=4_000, engine="vectro")
+        with pytest.raises(ValueError, match="unknown proposing side"):
+            matching_admissions.MatchingSetting(num_students=4_000, proposing="school")
+
+    def test_matching_admissions_pipeline_school_proposing_vector(self):
+        # The school-optimal variant on the round-based engine runs the whole
+        # pipeline; the headline demographics finding must hold there too.
+        result = matching_admissions.run(
+            num_students=SMALL,
+            num_schools=4,
+            list_length=4,
+            engine="vector",
+            proposing="schools",
+        )
+        gaps = {
+            row["series"]: row["gap"]
+            for row in result.table("representation gap vs population (mean abs deviation)")
+        }
+        assert gaps["with bonus points"] < gaps["uncorrected rubric"] / 2
+        assert any("proposing=schools" in note for note in result.notes)
+
     def test_matching_admissions_pipeline(self):
         result = matching_admissions.run(num_students=SMALL, num_schools=4, list_length=4)
         gaps = {
@@ -251,3 +276,42 @@ class TestCLI:
         text = output.read_text()
         assert "admitted demographics" in text
         assert "rank of match" in text
+
+    def test_run_matching_both_variants_from_cli(self, tmp_path, capsys):
+        # Both proposing sides run end-to-end from the command line, on the
+        # vector engine; the school-optimal match can only make students
+        # (weakly) worse off, which shows up as fewer first choices.
+        first_choices = {}
+        for proposing in ("students", "schools"):
+            output = tmp_path / f"matching-{proposing}.txt"
+            code = cli_main(
+                [
+                    "run",
+                    "matching",
+                    "--num-students",
+                    "4000",
+                    "--engine",
+                    "vector",
+                    "--proposing",
+                    proposing,
+                    "--output",
+                    str(output),
+                ]
+            )
+            assert code == 0
+            text = output.read_text()
+            assert f"proposing={proposing}" in text
+            assert "engine=vector" in text
+            lines = text.splitlines()
+            section = lines.index("-- rank of match --")
+            baseline_row = next(
+                line for line in lines[section:] if line.startswith("uncorrected rubric")
+            )
+            first_choices[proposing] = int(baseline_row.split("|")[1])
+        assert first_choices["schools"] <= first_choices["students"]
+
+    def test_cli_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "matching", "--engine", "quantum"])
+        with pytest.raises(SystemExit):
+            cli_main(["run", "matching", "--proposing", "teachers"])

@@ -1,0 +1,87 @@
+"""Golden-file regression test for ``repro-experiments run matching``.
+
+The end-to-end admissions pipeline (per-school DCA fits → score planes →
+deferred acceptance → demographics) is deterministic given its seeds.  This
+test runs it at a small fixed size and compares the headline artefacts —
+the representation gaps and the rank-of-match histogram — against a
+checked-in JSON snapshot, so experiment-layer refactors (engine swaps,
+``fit_many`` backend changes, plane reshuffles) cannot silently drift the
+reported numbers.
+
+If an *intentional* behaviour change moves the numbers, regenerate the
+snapshot and review the diff::
+
+    PYTHONPATH=src REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_experiments_golden.py
+
+Match counts are compared exactly; the gap floats with a tight relative
+tolerance (they survive BLAS rounding differences across machines, which
+the integer-rounded bonus points absorb before they can flip a match).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import clear_dataset_cache
+from repro.experiments import matching_admissions
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "matching_golden.json"
+
+#: Pipeline configuration the snapshot was generated with.  Small enough to
+#: run in seconds, large enough that every school admits a real class.
+GOLDEN_CONFIG = {"num_students": 3_000, "num_schools": 3, "list_length": 3}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_dataset_cache()
+    yield
+    clear_dataset_cache()
+
+
+def _artefacts() -> dict:
+    result = matching_admissions.run(**GOLDEN_CONFIG)
+    return {
+        "config": dict(GOLDEN_CONFIG),
+        "representation_gap": result.table(
+            "representation gap vs population (mean abs deviation)"
+        ),
+        "rank_of_match": result.table("rank of match"),
+    }
+
+
+def test_matching_pipeline_reproduces_golden_file():
+    artefacts = _artefacts()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(artefacts, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    golden = json.loads(GOLDEN_PATH.read_text())
+
+    assert artefacts["config"] == golden["config"], (
+        "golden file was generated with a different configuration — "
+        "regenerate it (REPRO_REGEN_GOLDEN=1) and review the diff"
+    )
+    # Rank-of-match histograms are integer counts: exact.
+    assert artefacts["rank_of_match"] == golden["rank_of_match"]
+    # Representation gaps are floats: tight relative tolerance.
+    assert len(artefacts["representation_gap"]) == len(golden["representation_gap"])
+    for observed, expected in zip(
+        artefacts["representation_gap"], golden["representation_gap"]
+    ):
+        assert observed["series"] == expected["series"]
+        assert observed["gap"] == pytest.approx(expected["gap"], rel=1e-9, abs=1e-12)
+
+
+def test_golden_file_is_checked_in_and_well_formed():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert set(golden) == {"config", "rank_of_match", "representation_gap"}
+    series = [row["series"] for row in golden["representation_gap"]]
+    assert series == ["uncorrected rubric", "with bonus points"]
+    for row in golden["rank_of_match"]:
+        counted = sum(v for key, v in row.items() if key != "series")
+        assert counted == golden["config"]["num_students"]

@@ -1,12 +1,16 @@
 """Tests for the deferred-acceptance matching substrate.
 
-Covers both engines (``heap`` and ``reference``), the normalized ranking
-forms (score matrix / mapping / sequence), the padded preference-matrix
-input, the pinned ``proposals_made`` accounting, and — because the
-student-optimal stable matching is unique once school tie-breaks make
-preferences strict — exact engine equivalence on randomized instances with
-zero-capacity schools, unacceptable students, duplicate scores, and
-exhausted preference lists.
+Covers all three engines (``heap``, ``vector``, ``reference``), both
+proposing sides, the normalized ranking forms (score matrix / mapping /
+sequence), the padded preference-matrix input, the pinned
+``proposals_made`` accounting, the pinned tie-break (equal scores break by
+the lower student index, identically everywhere), and — because the
+proposing side's optimal stable matching is unique once school tie-breaks
+make preferences strict — exact three-way engine equivalence on randomized
+adversarial instances: zero-capacity schools, fully-unacceptable students,
+duplicate scores/ties, empty preference lists, empty districts, and
+capacities exceeding the cohort.  The DA axioms themselves (stability,
+optimality, rural hospitals) live in ``tests/test_matching_properties.py``.
 """
 
 from __future__ import annotations
@@ -16,12 +20,25 @@ import pytest
 
 from repro.matching import deferred_acceptance, generate_student_preferences
 
-ENGINES = ("heap", "reference")
+ENGINES = ("heap", "vector", "reference")
+PROPOSING = ("students", "schools")
 
 
 @pytest.fixture(params=ENGINES)
 def engine(request):
     return request.param
+
+
+@pytest.fixture(params=PROPOSING)
+def proposing(request):
+    return request.param
+
+
+def _assert_matches_equal(left, right) -> None:
+    assert np.array_equal(left.assignment, right.assignment)
+    assert left.rosters == right.rosters
+    assert left.proposals_made == right.proposals_made
+    assert np.array_equal(left.matched_rank, right.matched_rank)
 
 
 class TestDeferredAcceptance:
@@ -290,6 +307,151 @@ class TestMatchedRank:
         assert match.rank_distribution(2).tolist() == [1, 1, 1]
 
 
+class TestSchoolProposing:
+    """Semantics of ``proposing="schools"``: the school-optimal matching,
+    with mirrored acceptability rules and proposal accounting."""
+
+    def test_diverges_from_student_optimal_on_classic_instance(self, engine):
+        # Both sides disagree about who should get what: students want
+        # (s0->0, s1->1), schools want the opposite.  The proposing side wins.
+        preferences = [[0, 1], [1, 0]]
+        plane = np.array([[1.0, 2.0], [2.0, 1.0]])
+        students = deferred_acceptance(
+            preferences, plane, [1, 1], engine=engine, proposing="students"
+        )
+        schools = deferred_acceptance(
+            preferences, plane, [1, 1], engine=engine, proposing="schools"
+        )
+        assert students.assignment.tolist() == [0, 1]
+        assert schools.assignment.tolist() == [1, 0]
+        assert students.matched_rank.tolist() == [0, 0]
+        assert schools.matched_rank.tolist() == [1, 1]
+
+    def test_unlisted_school_cannot_match_student(self, engine):
+        # School 1 would love student 0, but student 0 never listed it.
+        match = deferred_acceptance(
+            [[0]], [[1.0], [5.0]], [1, 1], engine=engine, proposing="schools"
+        )
+        assert match.assignment.tolist() == [0]
+
+    def test_nan_student_never_proposed_to(self, engine):
+        match = deferred_acceptance(
+            [[0], [0]],
+            np.array([[np.nan, 1.0]]),
+            [2],
+            engine=engine,
+            proposing="schools",
+        )
+        assert match.assignment.tolist() == [-1, 0]
+
+    def test_capacity_respected(self, engine):
+        rng = np.random.default_rng(21)
+        preferences = generate_student_preferences(50, 3, list_length=3, rng=rng)
+        plane = rng.normal(size=(3, 50))
+        match = deferred_acceptance(
+            preferences, plane, [5, 7, 9], engine=engine, proposing="schools"
+        )
+        assert [len(match.roster(j)) for j in range(3)] == [5, 7, 9]
+
+    def test_offer_to_empty_list_student_not_counted(self, engine):
+        # Student 1 lists nothing: the school's offer is skipped silently.
+        # Student 0 lists only school 1: school 0's offer is counted and
+        # declined.  Counted offers: school0->s0, school1->s0.
+        match = deferred_acceptance(
+            [[1], []],
+            np.array([[2.0, 1.0], [1.0, np.nan]]),
+            [1, 1],
+            engine=engine,
+            proposing="schools",
+        )
+        assert match.assignment.tolist() == [1, -1]
+        assert match.proposals_made == 2
+
+    def test_matched_rank_points_into_preference_lists(self, engine):
+        rng = np.random.default_rng(5)
+        preferences = generate_student_preferences(60, 5, list_length=4, rng=rng)
+        plane = rng.normal(size=(5, 60))
+        match = deferred_acceptance(
+            preferences, plane, [7] * 5, engine=engine, proposing="schools"
+        )
+        for student, prefs in enumerate(preferences):
+            school = match.assignment[student]
+            rank = match.matched_rank[student]
+            if school < 0:
+                assert rank == -1
+            else:
+                assert prefs[rank] == school
+
+    def test_invalid_proposing_rejected(self):
+        with pytest.raises(ValueError):
+            deferred_acceptance([[0]], [[1.0]], [1], proposing="teachers")
+
+
+class TestTieBreakDeterminism:
+    """Equal scores break in favour of the lower student index — identically
+    in every engine and on both proposing sides, so heavily tied rubrics
+    (integer scores, shared cut-offs) still give one deterministic match."""
+
+    def test_all_tied_scores_admit_lowest_indices(self, engine, proposing):
+        match = deferred_acceptance(
+            [[0]] * 5,
+            [[1.0] * 5],
+            [2],
+            engine=engine,
+            proposing=proposing,
+        )
+        assert match.roster(0) == (0, 1)
+        assert match.assignment.tolist() == [0, 0, -1, -1, -1]
+
+    def test_tied_bump_prefers_lower_index(self, engine):
+        # Student 2 proposes last with a tied score: the incumbent holders
+        # (lower indices) keep their seats.
+        match = deferred_acceptance(
+            [[0], [0], [0]],
+            [[2.0, 2.0, 2.0]],
+            [2],
+            engine=engine,
+        )
+        assert match.roster(0) == (0, 1)
+        # ...but a strictly better late proposal still bumps the weakest.
+        match = deferred_acceptance(
+            [[0], [0], [0]],
+            [[2.0, 2.0, 3.0]],
+            [2],
+            engine=engine,
+        )
+        assert match.roster(0) == (2, 0)
+
+    def test_tied_rosters_order_by_student_index(self, engine, proposing):
+        match = deferred_acceptance(
+            [[0]] * 4,
+            [[7.0, 7.0, 7.0, 7.0]],
+            [4],
+            engine=engine,
+            proposing=proposing,
+        )
+        assert match.roster(0) == (0, 1, 2, 3)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_heavily_tied_instances_identical_across_engines(self, seed, proposing):
+        rng = np.random.default_rng(seed)
+        num_students, num_schools = 60, 4
+        preferences = generate_student_preferences(
+            num_students, num_schools, list_length=3, rng=rng
+        )
+        # Two distinct score values only: ties everywhere.
+        plane = rng.integers(0, 2, size=(num_schools, num_students)).astype(float)
+        capacities = [7] * num_schools
+        results = [
+            deferred_acceptance(
+                preferences, plane, capacities, engine=engine, proposing=proposing
+            )
+            for engine in ENGINES
+        ]
+        for other in results[1:]:
+            _assert_matches_equal(results[0], other)
+
+
 def _random_instance(rng: np.random.Generator):
     """A randomized instance stressing every edge the engines must agree on."""
     num_students = int(rng.integers(1, 90))
@@ -301,11 +463,21 @@ def _random_instance(rng: np.random.Generator):
             continue
         length = int(rng.integers(1, num_schools + 1))
         preferences.append([int(s) for s in rng.choice(num_schools, size=length, replace=False)])
-    # Zero-capacity schools and scarce seats (bumps + exhausted lists) both occur.
+    # Zero-capacity schools and scarce seats (bumps + exhausted lists) both
+    # occur; occasionally every school is seatless (an empty district) or
+    # capacities exceed the cohort (c > P).
     capacities = [int(c) for c in rng.integers(0, 6, size=num_schools)]
-    # Small integer scores force heavy tie-breaking; NaN marks unacceptable.
+    shape = rng.random()
+    if shape < 0.08:
+        capacities = [0] * num_schools
+    elif shape < 0.16:
+        capacities = [int(c) for c in rng.integers(num_students, num_students + 5, size=num_schools)]
+    # Small integer scores force heavy tie-breaking; NaN marks unacceptable
+    # pairings, occasionally an entire student column (fully-unacceptable
+    # students).
     plane = rng.integers(0, 4, size=(num_schools, num_students)).astype(float)
     plane[rng.random((num_schools, num_students)) < 0.15] = np.nan
+    plane[:, rng.random(num_students) < 0.05] = np.nan
     form = int(rng.integers(0, 3))
     if form == 0:
         rankings = plane
@@ -320,32 +492,62 @@ def _random_instance(rng: np.random.Generator):
 
 
 class TestEngineEquivalence:
-    """The student-optimal stable matching is unique (school preferences are
-    made strict by the ``-student`` tie-break), so the heap and reference
+    """The proposing side's optimal stable matching is unique (school
+    preferences are made strict by the ``-student`` tie-break), so all three
     engines must agree *exactly* — assignment, rosters, matched ranks, and
     the proposal count, which is order-independent for deferred acceptance."""
 
     @pytest.mark.parametrize("seed", range(25))
-    def test_randomized_instances(self, seed):
+    def test_randomized_instances_three_way(self, seed, proposing):
         preferences, rankings, capacities = _random_instance(np.random.default_rng(seed))
-        heap = deferred_acceptance(preferences, rankings, capacities, engine="heap")
-        reference = deferred_acceptance(preferences, rankings, capacities, engine="reference")
-        assert np.array_equal(heap.assignment, reference.assignment)
-        assert heap.rosters == reference.rosters
-        assert heap.proposals_made == reference.proposals_made
-        assert np.array_equal(heap.matched_rank, reference.matched_rank)
+        results = {
+            engine: deferred_acceptance(
+                preferences, rankings, capacities, engine=engine, proposing=proposing
+            )
+            for engine in ENGINES
+        }
+        _assert_matches_equal(results["heap"], results["reference"])
+        _assert_matches_equal(results["vector"], results["reference"])
 
-    def test_midsize_instance_with_generated_preferences(self):
+    @pytest.mark.parametrize(
+        "capacities",
+        [
+            [0, 0, 0],  # empty district: nobody can be matched
+            [200, 200, 200],  # c > P: nobody is ever bumped
+            [0, 1, 200],  # both extremes at once
+        ],
+        ids=["all-zero", "oversized", "mixed"],
+    )
+    def test_adversarial_capacities_three_way(self, capacities, proposing):
+        rng = np.random.default_rng(7)
+        preferences = generate_student_preferences(40, 3, list_length=3, rng=rng)
+        plane = rng.integers(0, 3, size=(3, 40)).astype(float)
+        plane[:, 0] = np.nan  # a fully-unacceptable student
+        results = [
+            deferred_acceptance(
+                preferences, plane, capacities, engine=engine, proposing=proposing
+            )
+            for engine in ENGINES
+        ]
+        for other in results[1:]:
+            _assert_matches_equal(results[0], other)
+        if capacities == [0, 0, 0]:
+            assert results[0].num_unmatched == 40
+
+    def test_midsize_instance_with_generated_preferences(self, proposing):
         rng = np.random.default_rng(99)
         preferences = generate_student_preferences(400, 12, list_length=6, rng=rng, as_matrix=True)
         plane = rng.normal(size=(12, 400))
         plane[rng.random((12, 400)) < 0.05] = np.nan
         capacities = [0, 10, 25, 25, 25, 25, 25, 25, 25, 25, 25, 25]
-        heap = deferred_acceptance(preferences, plane, capacities, engine="heap")
-        reference = deferred_acceptance(preferences, plane, capacities, engine="reference")
-        assert np.array_equal(heap.assignment, reference.assignment)
-        assert heap.rosters == reference.rosters
-        assert heap.proposals_made == reference.proposals_made
+        results = [
+            deferred_acceptance(
+                preferences, plane, capacities, engine=engine, proposing=proposing
+            )
+            for engine in ENGINES
+        ]
+        for other in results[1:]:
+            _assert_matches_equal(results[0], other)
 
 
 class TestPreferenceGeneration:
