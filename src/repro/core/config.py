@@ -10,7 +10,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["DCAConfig"]
+__all__ = ["DCAConfig", "validate_worker_count"]
+
+
+def validate_worker_count(name: str, value: int | None) -> int | None:
+    """Eagerly reject zero/negative worker or shard counts.
+
+    The one implementation of the ">= 1 or ValueError" rule shared by
+    :meth:`DCAConfig.validate`, :meth:`repro.core.DCA.fit`/``fit_many``, and
+    the sharded fit plane.  ``None`` passes through (it means "use the
+    default"); anything below 1 raises a clear ``ValueError`` *before* any
+    pool or shared-memory segment is created, instead of failing obscurely
+    inside an executor.
+    """
+    if value is None:
+        return None
+    count = int(value)
+    if count < 1:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return count
 
 
 @dataclass(frozen=True)
@@ -57,6 +75,34 @@ class DCAConfig:
         the legacy reference path that materializes a
         :class:`~repro.tabular.Table` slice per step; it produces bitwise
         identical results and exists for verification and debugging.
+    row_workers:
+        Number of shared-memory worker processes a single :meth:`~repro.core.DCA.fit`
+        row-shards its sampled objective evaluations across
+        (:class:`~repro.core.parallel.ShardedFitPlane`).  ``None`` or 1 runs
+        in-process.  Results are bitwise identical to the in-process path
+        for any value; worth it when the per-step sample is large (big
+        cohorts with ``sample_size`` in the tens of thousands or more).
+    shard_rows:
+        Rows per contiguous shard of a row-sharded fit; ``None`` splits the
+        population evenly over ``row_workers``.  Purely a granularity knob —
+        results are identical for any value.
+    rng_batching:
+        ``"per_step"`` (the default) draws each step's sample in its own
+        generator call, preserving seed-for-seed history.  ``"per_phase"``
+        draws all of a phase's sample indices in **one** generator call
+        (:meth:`repro.core.sampling.SampleStream.draw_phase_indices`),
+        which removes per-step generator overhead but changes the stream
+        (different results for the same seed) and samples with replacement
+        within a step — statistically negligible while the sample is much
+        smaller than the population, which is the recommended regime.
+    stratified_sampling:
+        When True, per-step samples guarantee at least one member of each
+        binary fairness attribute's rarest side
+        (:class:`~repro.core.sampling.SampleStream` ``stratify``), which
+        stabilizes the signal for very rare groups (< ~1/sample_size
+        frequency).  Opt-in because the correction consumes extra RNG draws
+        whenever it triggers, so fits are not seed-comparable with the
+        default mode.
     """
 
     learning_rates: tuple[float, ...] = (1.0, 0.1)
@@ -72,6 +118,10 @@ class DCAConfig:
     initial_bonus_scale: float = 1.0
     min_group_count: int = 30
     engine: str = "array"
+    row_workers: int | None = None
+    shard_rows: int | None = None
+    rng_batching: str = "per_step"
+    stratified_sampling: bool = False
 
     def validate(self) -> None:
         if not self.learning_rates:
@@ -112,6 +162,13 @@ class DCAConfig:
             raise ValueError(f"min_group_count must be positive, got {self.min_group_count}")
         if self.engine not in ("array", "table"):
             raise ValueError(f"engine must be 'array' or 'table', got {self.engine!r}")
+        validate_worker_count("row_workers", self.row_workers)
+        validate_worker_count("shard_rows", self.shard_rows)
+        if self.rng_batching not in ("per_step", "per_phase"):
+            raise ValueError(
+                "rng_batching must be 'per_step' or 'per_phase', "
+                f"got {self.rng_batching!r}"
+            )
 
     def without_refinement(self) -> "DCAConfig":
         """A copy configured to run Core DCA only (used by the Figure 8 ablation)."""

@@ -94,10 +94,12 @@ from .parallel import (
     CompiledObjectiveCache,
     PlaneJob,
     PlanePayload,
+    ShardedFitPlane,
     SharedPopulationPlane,
     default_objective_cache,
     execute_process_jobs,
     matrix_key,
+    validate_worker_count,
 )
 from .result import DCAResult, DCATrace
 from .sampling import SampleStream, rarest_group_frequency, recommended_sample_size
@@ -199,7 +201,14 @@ class _BonusSearch:
             table.num_rows,
             lambda: rarest_group_frequency(table, self.attribute_names),
         )
-        self._stream = SampleStream(table, self.sample_size, rng=self.rng)
+        self._stream = SampleStream(
+            table,
+            self.sample_size,
+            rng=self.rng,
+            stratify=self.attribute_names if config.stratified_sampling else None,
+        )
+        self._phase_indices: np.ndarray | None = None
+        self._phase_cursor = 0
 
     @classmethod
     def from_arrays(
@@ -225,6 +234,11 @@ class _BonusSearch:
         """
         if compiled is None:
             raise ValueError("from_arrays requires a compiled objective")
+        if config.stratified_sampling:
+            raise ValueError(
+                "stratified sampling needs the population table for its group "
+                "masks; table-less searches cannot stratify"
+            )
         search = cls.__new__(cls)
         search.table = None
         search.score_function = None
@@ -238,6 +252,8 @@ class _BonusSearch:
         search._compiled = compiled
         search.sample_size = int(sample_size)
         search._stream = SampleStream(int(num_rows), search.sample_size, rng=search.rng)
+        search._phase_indices = None
+        search._phase_cursor = 0
         return search
 
     # ------------------------------------------------------------------
@@ -247,9 +263,31 @@ class _BonusSearch:
         values = self.rng.uniform(0.0, scale, size=len(self.attribute_names))
         return _project(values, self.config)
 
+    def begin_phase(self, num_steps: int) -> None:
+        """Pre-draw a phase's samples under ``rng_batching="per_phase"``.
+
+        A no-op in the default ``"per_step"`` mode, so the historical
+        seed-for-seed stream is untouched.  In ``"per_phase"`` mode the
+        phase's ``num_steps`` samples come from one generator call
+        (:meth:`~repro.core.sampling.SampleStream.draw_phase_indices`) and
+        :meth:`step_signal` consumes them row by row.
+        """
+        if self.config.rng_batching != "per_phase":
+            return
+        self._phase_indices = self._stream.draw_phase_indices(num_steps)
+        self._phase_cursor = 0
+
+    def _next_indices(self) -> np.ndarray:
+        """The next step's sample indices, honoring the RNG batching mode."""
+        if self._phase_indices is None:
+            return self._stream.draw_indices()
+        indices = self._phase_indices[self._phase_cursor]
+        self._phase_cursor += 1
+        return indices
+
     def step_signal(self, bonus_values: np.ndarray) -> np.ndarray:
         """Draw the next sample and evaluate the objective under ``bonus_values``."""
-        indices = self._stream.draw_indices()
+        indices = self._next_indices()
         base = self._base_scores[indices]
         if self._compiled is not None:
             scores = compensate_scores(self._attribute_matrix[indices], base, bonus_values)
@@ -270,6 +308,36 @@ class _BonusSearch:
         bonus = BonusVector(attribute_names=self.attribute_names, values=bonus_values)
         scores = bonus.apply(self.table, self._base_scores)
         return self.objective.evaluate(self.table, scores, self.k).vector
+
+
+class _ShardedBonusSearch:
+    """A :class:`_BonusSearch` whose step signals come from a row-sharded plane.
+
+    The parent-side search keeps everything sequential a fit owns — the
+    seeded RNG, the sample stream, the phase-batching cursor — so the RNG is
+    consumed exactly as a serial fit would consume it.  Only the per-step
+    objective evaluation is delegated: the drawn sample and current bonus
+    vector go to the :class:`~repro.core.parallel.ShardedFitPlane`, whose
+    map-reduce protocol returns the bitwise-identical signal.
+    """
+
+    def __init__(self, search: _BonusSearch, plane: ShardedFitPlane) -> None:
+        self._search = search
+        self._plane = plane
+        self.k = search.k
+        self.config = search.config
+        self.attribute_names = search.attribute_names
+        self.sample_size = search.sample_size
+        self.rng = search.rng
+
+    def initial_bonus(self) -> np.ndarray:
+        return self._search.initial_bonus()
+
+    def begin_phase(self, num_steps: int) -> None:
+        self._search.begin_phase(num_steps)
+
+    def step_signal(self, bonus_values: np.ndarray) -> np.ndarray:
+        return self._plane.step(bonus_values, self._search._next_indices())
 
 
 def _finish_fit(
@@ -338,6 +406,7 @@ class CoreDCA:
         )
         traces: list[DCATrace] = []
         for learning_rate in config.learning_rates:
+            search.begin_phase(config.iterations)
             history = np.zeros((config.iterations, len(search.attribute_names)))
             norms = np.zeros(config.iterations)
             for step in range(config.iterations):
@@ -380,6 +449,7 @@ class DCARefinement:
             )
             return bonus, empty
         adam = Adam(learning_rate=config.refinement_learning_rate)
+        search.begin_phase(iterations)
         history = np.zeros((iterations, len(search.attribute_names)))
         norms = np.zeros(iterations)
         for step in range(iterations):
@@ -506,9 +576,37 @@ class DCA:
         self.objective = objective or DisparityObjective(self.fairness_attributes)
         self.objective_cache = objective_cache
 
-    def fit(self, table: Table) -> DCAResult:
-        """Fit bonus points on ``table`` (the training cohort / distribution sample)."""
+    def fit(
+        self,
+        table: Table,
+        *,
+        row_workers: int | None = None,
+        shard_rows: int | None = None,
+    ) -> DCAResult:
+        """Fit bonus points on ``table`` (the training cohort / distribution sample).
+
+        ``row_workers`` (default: the config's ``row_workers``) row-shards
+        THIS fit's sampled objective evaluations across that many
+        shared-memory worker processes
+        (:class:`~repro.core.parallel.ShardedFitPlane`): the population
+        arrays live in one segment, each step broadcasts only the bonus
+        vector and the drawn sample, and the parent reduces the workers'
+        partial accumulators — **bitwise identical** to the in-process fit
+        for any worker count.  ``shard_rows`` sets the contiguous rows per
+        shard (default: an even split); it is a granularity knob for the
+        sharded plane only, so it has no effect unless ``row_workers`` (here
+        or in the config) exceeds 1.  Zero/negative values are rejected
+        eagerly.  Fits whose compiled objective cannot shard (``engine=
+        "table"``, table-fallback compilations, non-exportable state) fall
+        back to in-process execution — same results, no parallelism.
+        """
         start = time.perf_counter()
+        row_workers = validate_worker_count(
+            "row_workers", row_workers if row_workers is not None else self.config.row_workers
+        )
+        shard_rows = validate_worker_count(
+            "shard_rows", shard_rows if shard_rows is not None else self.config.shard_rows
+        )
         self.objective.fit(table)
         # The search owns the sample stream and cached arrays; both phases
         # (and the result assembly in _finish_fit) share it.
@@ -520,7 +618,34 @@ class DCA:
             self.config,
             objective_cache=self.objective_cache,
         )
+        if row_workers is not None and row_workers > 1:
+            plane = self._build_sharded_plane(search, row_workers, shard_rows)
+            if plane is not None:
+                try:
+                    sharded = _ShardedBonusSearch(search, plane)
+                    return _finish_fit(sharded, self.fairness_attributes, self.config, start)
+                finally:
+                    plane.close()
         return _finish_fit(search, self.fairness_attributes, self.config, start)
+
+    def _build_sharded_plane(
+        self, search: _BonusSearch, row_workers: int, shard_rows: int | None
+    ) -> ShardedFitPlane | None:
+        """A sharded plane for ``search``, or ``None`` when it cannot shard."""
+        compiled = search._compiled
+        if compiled is None:  # engine="table": no array plane to shard
+            return None
+        if compiled.shard_fields() is None or compiled.export_state() is None:
+            return None
+        return ShardedFitPlane(
+            base_scores=search._base_scores,
+            attribute_matrix=search._attribute_matrix,
+            compiled=compiled,
+            sample_size=search.sample_size,
+            k=search.k,
+            row_workers=row_workers,
+            shard_rows=shard_rows,
+        )
 
     def fit_many(
         self,
@@ -532,6 +657,7 @@ class DCA:
         specs: Sequence[FitSpec] | None = None,
         max_workers: int | None = None,
         executor: str | None = None,
+        row_workers: int | None = None,
     ) -> list[BatchFitResult]:
         """Fit a batch of bonus vectors on ``table`` in one call.
 
@@ -562,11 +688,27 @@ class DCA:
           parallelism, else ``"serial"`` (the pre-``executor`` behaviour).
 
         ``max_workers`` sizes the pool; for the parallel backends it
-        defaults to ``min(len(jobs), os.cpu_count())``.  Compiled objectives
+        defaults to ``min(len(jobs), os.cpu_count())``.  Zero or negative
+        ``max_workers``/``row_workers`` are rejected eagerly, before any
+        pool or shared-memory segment is created.  Compiled objectives
         are cached per population (see
         :func:`repro.core.parallel.default_objective_cache`), so sweeps that
         share a cohort and an objective signature — within one call or
         across calls — compile it once.
+
+        ``row_workers`` applies row sharding (see :meth:`fit`) to every job
+        in the batch; job sharding and row sharding compose.  With the
+        serial executor each job simply runs its own sharded plane, one
+        after another.  Under ``executor="thread"`` row-sharded jobs run
+        after the thread pool has drained, in the calling thread (forking
+        a worker pool while sibling threads hold locks would deadlock the
+        children); under ``executor="process"`` they run in the parent
+        rather than nesting pools inside pool workers.  Results are
+        identical on every path.  Each row-sharded job currently builds
+        (and tears down) its own plane and worker pool, so for large
+        batches over one cohort plain ``executor="process"`` job sharding
+        amortizes better; reserve ``row_workers`` for batches of a few
+        huge fits.
 
         Examples
         --------
@@ -593,6 +735,8 @@ class DCA:
         if not jobs:
             return []
 
+        max_workers = validate_worker_count("max_workers", max_workers)
+        row_workers = validate_worker_count("row_workers", row_workers)
         if executor is None:
             executor = "thread" if (max_workers is not None and max_workers > 1) else "serial"
         if executor not in _EXECUTORS:
@@ -600,7 +744,7 @@ class DCA:
         if max_workers is None:
             workers = min(len(jobs), os.cpu_count() or 1)
         else:
-            workers = max(1, int(max_workers))
+            workers = int(max_workers)
         # Explicit None check: an empty cache is falsy (it has __len__).
         cache = (
             self.objective_cache
@@ -609,33 +753,64 @@ class DCA:
         )
 
         if executor == "process":
-            return self._fit_many_process(table, jobs, cache, workers)
+            return self._fit_many_process(table, jobs, cache, workers, row_workers)
 
         def run_one(spec: FitSpec) -> BatchFitResult:
-            return self._run_single_spec(table, spec, cache)
+            return self._run_single_spec(table, spec, cache, row_workers)
 
         if executor == "thread" and workers > 1 and len(jobs) > 1:
-            with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(run_one, jobs))
+            # Row-sharded jobs fork a process pool of their own; forking
+            # while sibling pool threads run (and hold locks) deadlocks the
+            # children, so those jobs wait for the thread pool to drain and
+            # then run in the calling thread — same results, same ordering.
+            pooled: list[int] = []
+            deferred: list[int] = []
+            for index, spec in enumerate(jobs):
+                config, _, _ = self._resolve_spec(spec, row_workers)
+                (deferred if (config.row_workers or 0) > 1 else pooled).append(index)
+            results: dict[int, BatchFitResult] = {}
+            if pooled:
+                with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                    for index, result in zip(
+                        pooled, pool.map(run_one, [jobs[index] for index in pooled])
+                    ):
+                        results[index] = result
+            for index in deferred:
+                results[index] = run_one(jobs[index])
+            return [results[index] for index in range(len(jobs))]
         return [run_one(job) for job in jobs]
 
     # ------------------------------------------------------------------
     # fit_many internals
     # ------------------------------------------------------------------
-    def _resolve_spec(self, spec: FitSpec) -> tuple[DCAConfig, FairnessObjective, float]:
-        """Resolve a spec's config/objective/k against this instance's defaults."""
+    def _resolve_spec(
+        self, spec: FitSpec, row_workers: int | None = None
+    ) -> tuple[DCAConfig, FairnessObjective, float]:
+        """Resolve a spec's config/objective/k against this instance's defaults.
+
+        ``row_workers`` is the batch-level override: it lands in the
+        resolved config only, never in the caller's spec, so
+        :attr:`BatchFitResult.spec` always echoes exactly what was passed
+        in.
+        """
         config = spec.config if spec.config is not None else self.config
         if spec.seed is not None:
             config = replace(config, seed=spec.seed)
+        if row_workers is not None:
+            config = replace(config, row_workers=row_workers)
         objective = spec.objective if spec.objective is not None else self.objective
         k = self.k if spec.k is None else float(spec.k)
         return config, objective, k
 
     def _run_single_spec(
-        self, table: Table, spec: FitSpec, cache: CompiledObjectiveCache
+        self,
+        table: Table,
+        spec: FitSpec,
+        cache: CompiledObjectiveCache,
+        row_workers: int | None = None,
     ) -> BatchFitResult:
         """Run one batch job in this process (the serial/thread backends)."""
-        config, objective_template, k = self._resolve_spec(spec)
+        config, objective_template, k = self._resolve_spec(spec, row_workers)
         # Fresh objective per job: fit() mutates normalizer state, and
         # concurrent jobs must not share it.
         objective = copy.deepcopy(objective_template)
@@ -655,6 +830,7 @@ class DCA:
         jobs: Sequence[FitSpec],
         cache: CompiledObjectiveCache,
         max_workers: int,
+        row_workers: int | None = None,
     ) -> list[BatchFitResult]:
         """The shared-memory process backend of :meth:`fit_many`.
 
@@ -675,9 +851,19 @@ class DCA:
         job_meta: dict[int, tuple[FitSpec, float, int | None]] = {}
 
         for index, spec in enumerate(jobs):
-            config, objective_template, k = self._resolve_spec(spec)
+            config, objective_template, k = self._resolve_spec(spec, row_workers)
             signature = objective_template.signature()
-            if config.engine != "array" or signature is None:
+            # Jobs the plane cannot serve run in the parent: the table
+            # engine has no array state to share, signature-less objectives
+            # cannot be cached or exported, stratified sampling needs the
+            # table's group masks, and row-sharded jobs own a worker pool of
+            # their own (pools must not nest inside pool workers).
+            if (
+                config.engine != "array"
+                or signature is None
+                or config.stratified_sampling
+                or (config.row_workers or 0) > 1
+            ):
                 parent_jobs.append((index, spec))
                 continue
             if signature not in signature_keys:
@@ -733,7 +919,7 @@ class DCA:
             finally:
                 plane.close()
         for index, spec in parent_jobs:
-            results[index] = self._run_single_spec(table, spec, cache)
+            results[index] = self._run_single_spec(table, spec, cache, row_workers)
         return [results[index] for index in range(len(jobs))]
 
     def compensated_scores(self, table: Table, bonus: BonusVector) -> np.ndarray:

@@ -39,6 +39,31 @@ to their table-path results); custom subclasses that only implement
 ``evaluate`` automatically fall back to a compiled wrapper that slices the
 table, so they keep working under the array engine unchanged.
 
+Map-reduce (sharded) evaluation
+-------------------------------
+
+A compiled objective can additionally expose its evaluation in **map-reduce
+form**, which is what lets one fit's per-step signal be computed from
+disjoint row shards (:class:`repro.core.parallel.ShardedFitPlane`):
+
+* :meth:`CompiledObjective.partial` is the *map* step: for one shard's rows
+  it gathers everything the objective needs about those rows — their
+  compensated scores plus the per-row state declared by
+  :meth:`CompiledObjective.shard_fields` — into a plain dict-of-arrays
+  *accumulator*.  ``partial`` performs only gathers (bit-exact row
+  indexing), never a floating-point reduction.
+* :meth:`CompiledObjective.merge` is the *reduce* step: it folds shard
+  accumulators — concatenated in shard-rank order — into the signal vector.
+  Every order-sensitive floating-point reduction lives here and operates on
+  the reassembled sample exactly as ``evaluate`` would, so
+  ``merge([partial(indices, scores, k)], k)`` is **bitwise identical** to
+  ``evaluate(indices, scores, k)``, and splitting the same sample across
+  any number of shards cannot change a single bit of the result.
+
+The built-in compiled objectives all support the contract; the table
+fallback explicitly does not (its ``evaluate`` needs the whole sample's
+table slice), which callers detect through ``shard_fields() is None``.
+
 Sharing compiled state
 ----------------------
 
@@ -103,6 +128,52 @@ class CompiledObjective(abc.ABC):
     def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
         """Per-attribute fairness signal for the rows at ``indices``."""
 
+    # ------------------------------------------------------------------
+    # Map-reduce (sharded) evaluation
+    # ------------------------------------------------------------------
+    def shard_fields(self) -> dict[str, tuple[str, int]] | None:
+        """Per-row accumulator fields needed for map-reduce evaluation.
+
+        Maps each field name :meth:`partial` emits (besides ``"scores"``,
+        which every accumulator carries) to ``(dtype string, columns)``,
+        where ``columns`` is the field's trailing dimension (0 for a 1-D
+        field).  The sharded fit plane uses this to pre-allocate
+        shared-memory scratch sized to the sample.  Returning ``None`` (the
+        default) declares that this compiled objective cannot be evaluated
+        shard-wise; such objectives still work everywhere else, but
+        row-sharded fits fall back to in-process execution.
+        """
+        return None
+
+    def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
+        """Map step: one shard's accumulator for the rows at ``indices``.
+
+        ``scores`` are the compensated scores of exactly those rows.  The
+        returned dict holds ``"scores"`` plus one array per
+        :meth:`shard_fields` entry, each with ``len(indices)`` rows.  The
+        method performs only bit-exact gathers — all floating-point
+        reductions are deferred to :meth:`merge`, which is what makes the
+        sharded result independent of how the sample was partitioned.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support map-reduce (sharded) evaluation"
+        )
+
+    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+        """Reduce step: fold shard accumulators into the signal vector.
+
+        ``accumulators`` are :meth:`partial` outputs in shard-rank order;
+        their concatenation defines the evaluated sample.  ``merge`` uses
+        only compile-time metadata (never per-row population arrays), so
+        any equivalently-compiled instance can reduce any shard's output —
+        in particular the parent process can merge what pool workers
+        mapped.  ``merge([partial(indices, scores, k)], k)`` is bitwise
+        identical to ``evaluate(indices, scores, k)``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support map-reduce (sharded) evaluation"
+        )
+
     def export_state(self) -> tuple[dict[str, np.ndarray], dict] | None:
         """Split this compiled objective into ``(arrays, metadata)``.
 
@@ -140,6 +211,24 @@ class _CompiledTableFallback(CompiledObjective):
     def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
         subset = self._table if indices is None else self._table.take(indices)
         return self._objective.evaluate(subset, scores, k).vector
+
+    def shard_fields(self) -> None:
+        """Explicitly no sharding: the table path evaluates whole samples only."""
+        return None
+
+    def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
+        raise NotImplementedError(
+            "this objective only implements the table-path evaluate(); row-sharded "
+            "execution requires an array-plane compilation that overrides "
+            "CompiledObjective.shard_fields/partial/merge"
+        )
+
+    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+        raise NotImplementedError(
+            "this objective only implements the table-path evaluate(); row-sharded "
+            "execution requires an array-plane compilation that overrides "
+            "CompiledObjective.shard_fields/partial/merge"
+        )
 
 
 class FairnessObjective(abc.ABC):
@@ -226,18 +315,54 @@ def _column_means(matrix: np.ndarray) -> np.ndarray:
     return np.add.reduce(matrix, axis=0) / matrix.shape[0]
 
 
+def _merged_arrays(accumulators: Sequence[dict]) -> dict:
+    """Reassemble shard accumulators into one sample-sized array per field.
+
+    Concatenation order is the given shard-rank order; concatenating row
+    gathers is bit-exact, so the reassembled arrays equal what a single
+    un-sharded gather over the whole sample would have produced.
+    """
+    if not accumulators:
+        raise ValueError("merge requires at least one shard accumulator")
+    if len(accumulators) == 1:
+        return accumulators[0]
+    return {
+        key: np.concatenate([np.asarray(acc[key]) for acc in accumulators])
+        for key in accumulators[0]
+    }
+
+
 class _CompiledDisparity(CompiledObjective):
-    """Array-plane Definition 3 disparity over a pre-normalized matrix."""
+    """Array-plane Definition 3 disparity over a pre-normalized matrix.
+
+    ``evaluate`` and ``merge`` share one kernel (:meth:`_signal`), so the
+    map-reduce identity ``merge([partial(...)]) == evaluate(...)`` holds by
+    construction rather than by keeping two copies of the arithmetic in sync.
+    """
 
     __slots__ = ("_matrix",)
 
     def __init__(self, matrix: np.ndarray) -> None:
         self._matrix = matrix
 
-    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
-        matrix = self._matrix if indices is None else self._matrix[indices]
+    @staticmethod
+    def _signal(matrix: np.ndarray, scores: np.ndarray, k: float) -> np.ndarray:
         mask = selection_mask(scores, k)
         return _column_means(matrix[mask]) - _column_means(matrix)
+
+    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
+        matrix = self._matrix if indices is None else self._matrix[indices]
+        return self._signal(matrix, scores, k)
+
+    def shard_fields(self) -> dict[str, tuple[str, int]]:
+        return {"matrix": (self._matrix.dtype.str, int(self._matrix.shape[1]))}
+
+    def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
+        return {"scores": scores, "matrix": self._matrix[indices]}
+
+    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+        arrays = _merged_arrays(accumulators)
+        return self._signal(arrays["matrix"], arrays["scores"], k)
 
     def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
         return {"matrix": self._matrix}, {}
@@ -308,8 +433,9 @@ class _CompiledLogDiscounted(CompiledObjective):
             self._cached_weights = weights / weights.sum()
         return self._cached_grid, self._cached_weights
 
-    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
-        matrix = self._matrix if indices is None else self._matrix[indices]
+    def _signal(self, matrix: np.ndarray, scores: np.ndarray, k: float) -> np.ndarray:
+        # The one kernel behind evaluate and merge: the map-reduce identity
+        # cannot drift because there is no second copy of this arithmetic.
         grid, weights = self._capped_grid(k)
         population_centroid = _column_means(matrix)
         total = np.zeros(matrix.shape[1], dtype=float)
@@ -317,6 +443,20 @@ class _CompiledLogDiscounted(CompiledObjective):
             mask = selection_mask(scores, fraction)
             total += weight * (_column_means(matrix[mask]) - population_centroid)
         return total
+
+    def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
+        matrix = self._matrix if indices is None else self._matrix[indices]
+        return self._signal(matrix, scores, k)
+
+    def shard_fields(self) -> dict[str, tuple[str, int]]:
+        return {"matrix": (self._matrix.dtype.str, int(self._matrix.shape[1]))}
+
+    def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
+        return {"scores": scores, "matrix": self._matrix[indices]}
+
+    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+        arrays = _merged_arrays(accumulators)
+        return self._signal(arrays["matrix"], arrays["scores"], k)
 
     def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
         # The per-k weight cache is scratch state: every rebuilt instance
@@ -517,6 +657,16 @@ class _CompiledGroupObjective(CompiledObjective):
         membership = self._membership if indices is None else self._membership[indices]
         return self._kernel(membership, selection_mask(scores, k))
 
+    def shard_fields(self) -> dict[str, tuple[str, int]]:
+        return {"membership": (self._membership.dtype.str, int(self._membership.shape[1]))}
+
+    def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
+        return {"scores": scores, "membership": self._membership[indices]}
+
+    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+        arrays = _merged_arrays(accumulators)
+        return self._kernel(arrays["membership"], selection_mask(arrays["scores"], k))
+
     def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
         # The kernel is a module-level function, so it travels by reference
         # (both through the in-process cache and through pickle to workers).
@@ -543,6 +693,25 @@ class _CompiledFalsePositiveRate(CompiledObjective):
             membership, labels = self._membership[indices], self._labels[indices]
         return _false_positive_rate_values(membership, labels, selection_mask(scores, k))
 
+    def shard_fields(self) -> dict[str, tuple[str, int]]:
+        return {
+            "membership": (self._membership.dtype.str, int(self._membership.shape[1])),
+            "labels": (self._labels.dtype.str, 0),
+        }
+
+    def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
+        return {
+            "scores": scores,
+            "membership": self._membership[indices],
+            "labels": self._labels[indices],
+        }
+
+    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+        arrays = _merged_arrays(accumulators)
+        return _false_positive_rate_values(
+            arrays["membership"], arrays["labels"], selection_mask(arrays["scores"], k)
+        )
+
     def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
         return {"membership": self._membership, "labels": self._labels}, {}
 
@@ -562,6 +731,16 @@ class _CompiledExposureGap(CompiledObjective):
     def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
         membership = self._membership if indices is None else self._membership[indices]
         return _exposure_gap_values(membership, scores)
+
+    def shard_fields(self) -> dict[str, tuple[str, int]]:
+        return {"membership": (self._membership.dtype.str, int(self._membership.shape[1]))}
+
+    def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
+        return {"scores": scores, "membership": self._membership[indices]}
+
+    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+        arrays = _merged_arrays(accumulators)
+        return _exposure_gap_values(arrays["membership"], arrays["scores"])
 
     def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
         return {"membership": self._membership}, {}

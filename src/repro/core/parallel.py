@@ -1,6 +1,7 @@
 """Shared-memory population planes and compiled-objective caching.
 
-This module is the scaling substrate behind :meth:`repro.core.DCA.fit_many`:
+This module is the scaling substrate behind :meth:`repro.core.DCA.fit_many`
+and the row-sharded :meth:`repro.core.DCA.fit`:
 
 * :class:`CompiledObjectiveCache` — a per-population cache of compiled
   objective state.  Batched fits repeatedly compile the same objective
@@ -11,20 +12,34 @@ This module is the scaling substrate behind :meth:`repro.core.DCA.fit_many`:
   :class:`~repro.core.objectives.CompiledObjective` around the cached arrays
   per job, so every job keeps private mutable scratch state while the
   population-sized arrays are computed exactly once.
-* :class:`SharedPopulationPlane` — packs named NumPy arrays into one
-  ``multiprocessing.shared_memory`` segment so process-pool workers can map
-  the population (base scores, attribute matrices, compiled objective state)
-  instead of receiving a pickled copy per job.
+* :class:`SharedPopulationPlane` — one ``multiprocessing.shared_memory``
+  segment holding named NumPy arrays, either packed from existing arrays or
+  :meth:`~SharedPopulationPlane.allocate`-d empty and filled in place, so
+  process-pool workers can map the population (base scores, attribute
+  matrices, compiled objective state) instead of receiving a pickled copy
+  per job.
+* :class:`SharedColumnStore` — a cohort-shaped column store over one
+  segment: dataset generators write synthetic columns straight into it, so
+  a scale-bench cohort exists exactly once, already mapped for workers.
 * :func:`execute_process_jobs` — runs :class:`PlaneJob` descriptors on a
   process pool whose workers attach the plane once (in the pool
   initializer) and then serve jobs from lightweight shard descriptors.
+  This is *job sharding*: many independent fits over one population.
+* :class:`ShardedFitPlane` — *row sharding*: ONE fit whose per-step
+  objective evaluation is mapped over contiguous row shards by long-lived
+  workers and reduced in the parent, via the
+  :meth:`~repro.core.objectives.CompiledObjective.partial` /
+  :meth:`~repro.core.objectives.CompiledObjective.merge` map-reduce
+  contract.
 
-The process backend trades a one-time plane construction + worker start-up
+The process backends trade a one-time plane construction + worker start-up
 cost for true multi-core execution of the Python-level DCA step loop, which
 the thread backend cannot parallelize (the loop holds the GIL between NumPy
-kernels).  Results are bitwise identical to the serial backend because
-workers consume exactly the arrays the serial path would compute and every
-job owns its own seeded generator.
+kernels).  Results are bitwise identical to the serial paths because
+workers consume exactly the arrays the serial path would compute, every
+job owns its own seeded generator, and (for row sharding) every
+floating-point reduction happens in the parent on the sample reassembled
+in its original order.
 """
 
 from __future__ import annotations
@@ -41,17 +56,22 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..tabular import Table
-from .config import DCAConfig
+from .bonus import compensate_scores
+from .config import DCAConfig, validate_worker_count
 from .objectives import CompiledObjective, FairnessObjective
 
 __all__ = [
     "CompiledObjectiveCache",
     "default_objective_cache",
     "SharedPopulationPlane",
+    "SharedColumnStore",
+    "ShardedFitPlane",
+    "ShardPayload",
     "PlanePayload",
     "PlaneJob",
     "execute_process_jobs",
     "process_start_method",
+    "validate_worker_count",
 ]
 
 
@@ -180,27 +200,52 @@ class SharedPopulationPlane:
     The parent packs every array a batch of fits needs (base scores,
     per-attribute-set matrices, compiled objective state) into a single
     segment; workers attach it by name and serve every job through zero-copy
-    read-only views.  The plane owns the segment: call :meth:`close` (or use
-    the plane as a context manager) once the pool has shut down to release
-    and unlink it.
+    read-only views.  A plane can also be :meth:`allocate`-d from dtype/shape
+    specs and filled in place through :meth:`view`, so large arrays are
+    computed straight into the segment instead of being materialized on the
+    private heap first.  The plane owns the segment: call :meth:`close` (or
+    use the plane as a context manager) once the pool has shut down to
+    release and unlink it.
     """
 
     def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
         packed = {key: np.ascontiguousarray(value) for key, value in arrays.items()}
+        self._allocate_segment(
+            {key: (value.dtype.str, tuple(value.shape)) for key, value in packed.items()}
+        )
+        for key, value in packed.items():
+            self.view(key)[...] = value
+
+    @classmethod
+    def allocate(
+        cls, specs: Mapping[str, tuple[str, tuple[int, ...]]]
+    ) -> "SharedPopulationPlane":
+        """Create a plane of empty (zero-filled) arrays from dtype/shape specs.
+
+        ``specs`` maps each array key to ``(dtype string, shape)``.  Fill the
+        arrays through :meth:`view` — this is how cohort generators and the
+        sharded fit plane write population-sized data into shared memory
+        without a second private-heap copy.
+        """
+        plane = cls.__new__(cls)
+        plane._allocate_segment({key: (dtype, tuple(shape)) for key, (dtype, shape) in specs.items()})
+        return plane
+
+    def _allocate_segment(self, specs: Mapping[str, tuple[str, tuple[int, ...]]]) -> None:
         total = 0
-        offsets: dict[str, int] = {}
-        for key, value in packed.items():
-            total = -(-total // _ALIGNMENT) * _ALIGNMENT  # round up
-            offsets[key] = total
-            total += value.nbytes
-        self._shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
         self.refs: dict[str, _ArrayRef] = {}
-        for key, value in packed.items():
-            view = np.ndarray(
-                value.shape, dtype=value.dtype, buffer=self._shm.buf, offset=offsets[key]
-            )
-            view[...] = value
-            self.refs[key] = _ArrayRef(value.dtype.str, tuple(value.shape), offsets[key])
+        for key, (dtype, shape) in specs.items():
+            total = -(-total // _ALIGNMENT) * _ALIGNMENT  # round up
+            self.refs[key] = _ArrayRef(dtype, shape, total)
+            total += int(np.dtype(dtype).itemsize) * int(np.prod(shape, dtype=np.int64))
+        self._shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+
+    def view(self, key: str) -> np.ndarray:
+        """A writable ndarray view of one named array inside the segment."""
+        ref = self.refs[key]
+        return np.ndarray(
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=self._shm.buf, offset=ref.offset
+        )
 
     @property
     def name(self) -> str:
@@ -219,6 +264,63 @@ class SharedPopulationPlane:
         self._shm = None
 
     def __enter__(self) -> "SharedPopulationPlane":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SharedColumnStore:
+    """Equal-length named columns inside one shared-memory segment.
+
+    Synthetic-cohort generators write their columns straight into the store
+    (:meth:`columns` hands out writable views), so a multi-million-row
+    population is materialized exactly once — in pages any worker process
+    can map — instead of once on the parent heap and again for sharing.
+    Wrap the finished columns with :meth:`table`; the resulting
+    :class:`~repro.tabular.Table` keeps float64 columns as zero-copy views
+    into the segment (binary 0/1 columns are stored by the table layer as
+    compact ``bool`` copies).  The store owns the segment, and :meth:`close`
+    unmaps it — the standard ``multiprocessing.shared_memory`` contract
+    applies: close **last**, after every table, view, and fit over the
+    store is finished.  Touching a view after close is use-after-free (it
+    can crash the interpreter, not merely raise).
+    """
+
+    def __init__(self, num_rows: int, column_names: Sequence[str], dtype: str = "<f8") -> None:
+        if num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {num_rows}")
+        names = tuple(column_names)
+        if not names:
+            raise ValueError("at least one column name is required")
+        self.num_rows = int(num_rows)
+        self.column_names = names
+        self._plane = SharedPopulationPlane.allocate(
+            {name: (dtype, (self.num_rows,)) for name in names}
+        )
+
+    def view(self, name: str) -> np.ndarray:
+        """Writable view of one column."""
+        return self._plane.view(name)
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Writable views of every column, keyed by name, in declared order."""
+        return {name: self._plane.view(name) for name in self.column_names}
+
+    def table(self) -> Table:
+        """Wrap the current column contents as a :class:`~repro.tabular.Table`."""
+        return Table(self.columns())
+
+    def close(self) -> None:
+        """Release and unlink the backing segment (idempotent).
+
+        Must be the store's last use: every column view — including those
+        inside tables built by :meth:`table` — becomes a dangling mapping
+        afterwards (see the class docstring).
+        """
+        self._plane.close()
+
+    def __enter__(self) -> "SharedColumnStore":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -303,6 +405,26 @@ def _attach_shared_memory(name: str, untrack: bool) -> shared_memory.SharedMemor
         return segment
 
 
+def _map_refs(
+    shm: shared_memory.SharedMemory,
+    refs: Mapping[str, _ArrayRef],
+    writable: frozenset[str] = frozenset(),
+) -> dict[str, np.ndarray]:
+    """Map every referenced array out of an attached segment.
+
+    Views are read-only unless their key is in ``writable`` (the sharded fit
+    plane's scratch arrays are the one place workers write).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for key, ref in refs.items():
+        view = np.ndarray(
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf, offset=ref.offset
+        )
+        view.flags.writeable = key in writable
+        arrays[key] = view
+    return arrays
+
+
 class _AttachedPlane:
     """A worker's read-only view of the parent's shared-memory plane."""
 
@@ -310,13 +432,7 @@ class _AttachedPlane:
         # The attached segment reference keeps the mapped buffer alive.
         self._shm = _attach_shared_memory(payload.shm_name, payload.untrack_on_attach)
         self.num_rows = payload.num_rows
-        self.arrays: dict[str, np.ndarray] = {}
-        for key, ref in payload.refs.items():
-            view = np.ndarray(
-                ref.shape, dtype=np.dtype(ref.dtype), buffer=self._shm.buf, offset=ref.offset
-            )
-            view.flags.writeable = False
-            self.arrays[key] = view
+        self.arrays = _map_refs(self._shm, payload.refs)
         self._objective_states = payload.objective_states
 
     def compiled_for(self, key: int) -> CompiledObjective:
@@ -391,3 +507,274 @@ def execute_process_jobs(
         initargs=(payload,),
     ) as pool:
         return list(pool.map(_plane_worker_fit, jobs))
+
+
+# ----------------------------------------------------------------------
+# Row-sharded single-fit execution (map-reduce over the population rows)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPayload:
+    """Everything a row-shard worker needs to serve one sharded fit.
+
+    Sent once per worker through the pool initializer, never per step.
+
+    Attributes
+    ----------
+    shm_name:
+        Shared-memory segment holding the population arrays *and* the
+        per-step scratch (sample indices plus one array per accumulator
+        field).
+    refs:
+        Array locations inside the segment.
+    objective_class, objective_arrays, objective_metadata:
+        The compiled objective's class, a mapping from its state-array names
+        to plane keys, and its small metadata dict — enough for each worker
+        to rebuild a private :class:`~repro.core.objectives.CompiledObjective`
+        around the mapped arrays.
+    scratch_keys:
+        Accumulator field name (``"scores"`` included) → plane key of the
+        sample-sized scratch array the worker scatters that field into.
+    shard_bounds:
+        Per-shard contiguous row ranges ``(lo, hi)``; a step task for shard
+        ``s`` handles exactly the sampled indices falling in its range.
+    k:
+        The fit's selection fraction (constant across steps).
+    """
+
+    shm_name: str
+    refs: dict[str, _ArrayRef]
+    objective_class: type
+    objective_arrays: dict[str, str]
+    objective_metadata: dict
+    scratch_keys: dict[str, str]
+    shard_bounds: tuple[tuple[int, int], ...]
+    k: float
+
+
+class _ShardWorkerState:
+    """A row-shard worker's mapped arrays plus its rebuilt compiled objective."""
+
+    def __init__(self, payload: ShardPayload) -> None:
+        self._shm = _attach_shared_memory(payload.shm_name, untrack=False)
+        writable = frozenset(payload.scratch_keys.values())
+        arrays = _map_refs(self._shm, payload.refs, writable=writable)
+        self.base = arrays["base"]
+        self.matrix = arrays["matrix"]
+        self.indices = arrays["indices"]
+        self.scratch = {
+            field: arrays[key] for field, key in payload.scratch_keys.items()
+        }
+        state_arrays = {
+            name: arrays[key] for name, key in payload.objective_arrays.items()
+        }
+        self.compiled: CompiledObjective = payload.objective_class.from_state(
+            state_arrays, payload.objective_metadata
+        )
+        self.bounds = payload.shard_bounds
+        self.k = payload.k
+
+
+#: Worker-global shard state, set once per worker by the pool initializer.
+_SHARD_STATE: _ShardWorkerState | None = None
+
+
+def _shard_worker_init(payload: ShardPayload) -> None:
+    global _SHARD_STATE
+    _SHARD_STATE = _ShardWorkerState(payload)
+
+
+def _shard_worker_step(job: tuple[int, tuple[float, ...], int]) -> int:
+    """Serve one shard's share of one DCA step; returns rows written.
+
+    The map step of the objective's map-reduce contract: filter the current
+    sample to this shard's row range, compensate those rows' scores under
+    the broadcast bonus vector, gather the objective's per-row accumulator
+    (:meth:`~repro.core.objectives.CompiledObjective.partial`), and scatter
+    every field into the shared scratch at the rows' *sample positions* —
+    so the parent merges arrays already in the exact order a serial
+    evaluation would have seen.
+    """
+    shard, bonus_values, num_sampled = job
+    state = _SHARD_STATE
+    if state is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("worker has no attached shard state")
+    lo, hi = state.bounds[shard]
+    indices = state.indices[:num_sampled]
+    positions = np.flatnonzero((indices >= lo) & (indices < hi))
+    if positions.size == 0:
+        return 0
+    sub = indices[positions]
+    scores = compensate_scores(
+        state.matrix[sub], state.base[sub], np.asarray(bonus_values, dtype=float)
+    )
+    accumulator = state.compiled.partial(sub, scores, state.k)
+    for field, block in accumulator.items():
+        state.scratch[field][positions] = block
+    return int(positions.size)
+
+
+class ShardedFitPlane:
+    """Row-sharded execution of one fit's sampled objective evaluations.
+
+    The population plane (base scores, raw attribute matrix ``A_f``, the
+    compiled objective's exported state) and the per-step scratch (sample
+    indices, compensated scores, one array per accumulator field) live in a
+    single shared-memory segment.  Long-lived pool workers each serve
+    contiguous row shards; every :meth:`step` broadcasts only the current
+    bonus vector and the sample length, workers map their shard
+    (:meth:`~repro.core.objectives.CompiledObjective.partial` after a
+    bit-exact gather + score compensation), and the parent reduces the
+    reassembled sample with
+    :meth:`~repro.core.objectives.CompiledObjective.merge`.
+
+    Because workers only *gather* (row indexing is exact) and scatter into
+    the sample's original positions, while every floating-point reduction
+    runs in the parent on the full sample-ordered arrays, a sharded step is
+    **bitwise identical** to the serial ``evaluate`` — for any number of
+    workers and any shard boundaries.
+
+    Parameters
+    ----------
+    base_scores, attribute_matrix:
+        The fit's precomputed population arrays (copied into the segment).
+    compiled:
+        The parent's compiled objective; must support the map-reduce
+        contract (``shard_fields()`` not ``None``) and ``export_state``.
+    sample_size:
+        Rows per sampled step; sizes the scratch arrays.
+    k:
+        The fit's selection fraction.
+    row_workers:
+        Pool size.  Validated eagerly: zero/negative raise ``ValueError``
+        before any segment or pool exists.
+    shard_rows:
+        Rows per shard; defaults to an even split over ``row_workers``.
+        Smaller shards than workers are allowed (workers then serve several
+        shards per step); results are identical for any value.
+    """
+
+    def __init__(
+        self,
+        *,
+        base_scores: np.ndarray,
+        attribute_matrix: np.ndarray,
+        compiled: CompiledObjective,
+        sample_size: int,
+        k: float,
+        row_workers: int,
+        shard_rows: int | None = None,
+    ) -> None:
+        row_workers = validate_worker_count("row_workers", row_workers)
+        shard_rows = validate_worker_count("shard_rows", shard_rows)
+        fields = compiled.shard_fields()
+        if fields is None:
+            raise ValueError(
+                "this compiled objective does not support map-reduce evaluation "
+                "(shard_fields() is None)"
+            )
+        exported = compiled.export_state()
+        if exported is None:
+            raise ValueError(
+                "this compiled objective cannot export shard state (export_state() is None)"
+            )
+        state_arrays, metadata = exported
+        num_rows = int(base_scores.shape[0])
+        sample_size = int(sample_size)
+        if shard_rows is None:
+            shard_rows = -(-num_rows // row_workers)  # ceil: one shard per worker
+        bounds = tuple(
+            (start, min(start + shard_rows, num_rows))
+            for start in range(0, num_rows, shard_rows)
+        )
+
+        base_scores = np.ascontiguousarray(base_scores, dtype=float)
+        attribute_matrix = np.ascontiguousarray(attribute_matrix)
+        specs: dict[str, tuple[str, tuple[int, ...]]] = {
+            "base": (base_scores.dtype.str, base_scores.shape),
+            "matrix": (attribute_matrix.dtype.str, attribute_matrix.shape),
+            "indices": ("<i8", (sample_size,)),
+            "scratch:scores": ("<f8", (sample_size,)),
+        }
+        scratch_keys = {"scores": "scratch:scores"}
+        for field, (dtype, columns) in fields.items():
+            shape = (sample_size,) if columns == 0 else (sample_size, int(columns))
+            key = f"scratch:{field}"
+            specs[key] = (dtype, shape)
+            scratch_keys[field] = key
+        objective_arrays: dict[str, str] = {}
+        for name, value in state_arrays.items():
+            key = f"objective:{name}"
+            specs[key] = (value.dtype.str, tuple(value.shape))
+            objective_arrays[name] = key
+
+        self._plane = SharedPopulationPlane.allocate(specs)
+        self._pool = None
+        try:
+            self._plane.view("base")[...] = base_scores
+            self._plane.view("matrix")[...] = attribute_matrix
+            for name, key in objective_arrays.items():
+                self._plane.view(key)[...] = state_arrays[name]
+
+            self._compiled = compiled
+            self.k = float(k)
+            self.num_shards = len(bounds)
+            self._indices = self._plane.view("indices")
+            self._scratch = {
+                field: self._plane.view(key) for field, key in scratch_keys.items()
+            }
+            payload = ShardPayload(
+                shm_name=self._plane.name,
+                refs=self._plane.refs,
+                objective_class=type(compiled),
+                objective_arrays=objective_arrays,
+                objective_metadata=metadata,
+                scratch_keys=scratch_keys,
+                shard_bounds=bounds,
+                k=self.k,
+            )
+            context = multiprocessing.get_context(process_start_method())
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(row_workers, self.num_shards),
+                mp_context=context,
+                initializer=_shard_worker_init,
+                initargs=(payload,),
+            )
+        except BaseException:
+            # No caller holds the plane yet, so close() would be
+            # unreachable and the population-sized segment would leak.
+            self.close()
+            raise
+
+    def step(self, bonus_values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """One sampled objective evaluation, mapped over shards and reduced here.
+
+        ``indices`` is the step's sample (drawn by the parent, so the RNG
+        stream is exactly the serial one); ``bonus_values`` is the current
+        bonus vector.  Returns the raw signal vector.
+        """
+        num_sampled = int(indices.shape[0])
+        self._indices[:num_sampled] = indices
+        bonus = tuple(float(value) for value in bonus_values)
+        jobs = [(shard, bonus, num_sampled) for shard in range(self.num_shards)]
+        written = sum(self._pool.map(_shard_worker_step, jobs))
+        if written != num_sampled:  # pragma: no cover - guards shard-bound bugs
+            raise RuntimeError(
+                f"shard workers wrote {written} of {num_sampled} sampled rows"
+            )
+        accumulator = {
+            field: view[:num_sampled] for field, view in self._scratch.items()
+        }
+        return np.asarray(self._compiled.merge([accumulator], self.k), dtype=float)
+
+    def close(self) -> None:
+        """Shut the worker pool down and release the segment (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._plane.close()
+
+    def __enter__(self) -> "ShardedFitPlane":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

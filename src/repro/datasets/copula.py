@@ -139,14 +139,18 @@ class GaussianCopula:
     def correlation(self) -> np.ndarray:
         return self._correlation.copy()
 
-    def sample(self, size: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
-        """Draw ``size`` rows and return a dict of attribute arrays."""
+    def _latent(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw the correlated latent normal matrix (one generator call)."""
         if size <= 0:
             raise ValueError(f"sample size must be positive, got {size}")
         dimension = len(self._marginals)
-        latent = rng.multivariate_normal(
+        return rng.multivariate_normal(
             mean=np.zeros(dimension), cov=self._correlation, size=size, method="eigh"
         )
+
+    def sample(self, size: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        """Draw ``size`` rows and return a dict of attribute arrays."""
+        latent = self._latent(size, rng)
         return {
             spec.name: spec.apply(latent[:, i]) for i, spec in enumerate(self._marginals)
         }
@@ -161,13 +165,36 @@ class GaussianCopula:
         attributes *through the latent space*, which keeps the calibration
         interpretable.
         """
-        if size <= 0:
-            raise ValueError(f"sample size must be positive, got {size}")
-        dimension = len(self._marginals)
-        latent = rng.multivariate_normal(
-            mean=np.zeros(dimension), cov=self._correlation, size=size, method="eigh"
-        )
+        latent = self._latent(size, rng)
         values = {
             spec.name: spec.apply(latent[:, i]) for i, spec in enumerate(self._marginals)
         }
         return latent, values
+
+    def latent_and_sample_into(
+        self, size: int, rng: np.random.Generator, out: Mapping[str, np.ndarray]
+    ) -> np.ndarray:
+        """Sample straight into caller-provided column buffers; return the latent.
+
+        Every marginal whose name appears in ``out`` has its transform
+        written into that buffer in place (``out[name][...] = ...``); names
+        absent from ``out`` are skipped (their latent coordinate is still
+        drawn, so the RNG stream — and therefore every generated value — is
+        bitwise identical to :meth:`latent_and_sample`).  The buffers may be
+        plain arrays or views into shared memory
+        (:class:`repro.core.parallel.SharedColumnStore`), which is how
+        scale-bench cohorts are generated without a second private-heap
+        materialization of each column.
+        """
+        latent = self._latent(size, rng)
+        for i, spec in enumerate(self._marginals):
+            target = out.get(spec.name)
+            if target is None:
+                continue
+            if target.shape != (size,):
+                raise ValueError(
+                    f"output buffer for {spec.name!r} has shape {target.shape}, "
+                    f"expected {(size,)}"
+                )
+            target[...] = spec.apply(latent[:, i])
+        return latent

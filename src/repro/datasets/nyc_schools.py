@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.parallel import SharedColumnStore
 from ..ranking import WeightedSumScore
 from ..tabular import Table
 from .copula import GaussianCopula, binary_marginal, uniform_marginal
@@ -50,6 +51,27 @@ SCHOOL_FAIRNESS_ATTRIBUTES: tuple[str, ...] = ("low_income", "ell", "eni", "spec
 #: Number of NYC community school districts; used to emulate the Table II
 #: single-district comparison against Multinomial FA*IR.
 _NUM_DISTRICTS = 32
+
+#: Every column a generated cohort table carries, in table order.  Shared
+#: generation (``generate_school_cohort(..., shared=True)``) allocates this
+#: exact layout inside one shared-memory segment up front.
+_COHORT_COLUMNS: tuple[str, ...] = (
+    "student_id",
+    "grade_math",
+    "grade_ela",
+    "grade_science",
+    "grade_social_studies",
+    "test_math",
+    "test_ela",
+    "gpa",
+    "test_scores",
+    "absences",
+    "district",
+    "low_income",
+    "ell",
+    "special_ed",
+    "eni",
+)
 
 
 @dataclass(frozen=True)
@@ -105,12 +127,19 @@ class SchoolGeneratorConfig:
 
 @dataclass(frozen=True)
 class SchoolCohort:
-    """One synthetic academic-year cohort plus its metadata."""
+    """One synthetic academic-year cohort plus its metadata.
+
+    ``store`` is set when the cohort was generated with ``shared=True``: its
+    float columns are zero-copy views into one shared-memory segment (see
+    :class:`repro.core.parallel.SharedColumnStore`).  Such a cohort must be
+    :meth:`close`-d once it — and any fit running over it — is done.
+    """
 
     year: str
     table: Table
     fairness_attributes: tuple[str, ...] = SCHOOL_FAIRNESS_ATTRIBUTES
     config: SchoolGeneratorConfig = field(default_factory=SchoolGeneratorConfig)
+    store: SharedColumnStore | None = None
 
     @property
     def num_students(self) -> int:
@@ -120,6 +149,16 @@ class SchoolCohort:
         """Rows for one community school district (used for Table II)."""
         districts = self.table.numeric("district")
         return self.table.filter(districts == float(district_id))
+
+    def close(self) -> None:
+        """Release the shared-memory segment backing this cohort (no-op when unshared).
+
+        Must be the cohort's last use: ``table`` holds zero-copy views into
+        the segment, so reading any float column after close is
+        use-after-free (see :class:`repro.core.parallel.SharedColumnStore`).
+        """
+        if self.store is not None:
+            self.store.close()
 
 
 def school_admission_rubric() -> WeightedSumScore:
@@ -168,6 +207,8 @@ def generate_school_cohort(
     year: str,
     config: SchoolGeneratorConfig | None = None,
     seed: int | None = None,
+    *,
+    shared: bool = False,
 ) -> SchoolCohort:
     """Generate one synthetic academic-year cohort.
 
@@ -181,6 +222,15 @@ def generate_school_cohort(
     seed:
         Explicit RNG seed.  When omitted, a deterministic seed is derived from
         ``year`` so repeated calls return identical cohorts.
+    shared:
+        When True, every column is written directly into one shared-memory
+        segment (:class:`repro.core.parallel.SharedColumnStore`) as it is
+        generated — the fairness attributes stream straight out of the
+        copula, derived columns land one at a time — so a multi-million-row
+        cohort is never held twice (once on the heap, once for sharing).
+        The returned cohort carries the owning ``store`` and must be
+        :meth:`SchoolCohort.close`-d when done.  Column values are bitwise
+        identical to the unshared path for the same seed.
     """
     config = config or SchoolGeneratorConfig()
     config.validate()
@@ -188,12 +238,38 @@ def generate_school_cohort(
         seed = abs(hash(("nyc-schools", year))) % (2**32)
     rng = np.random.default_rng(seed)
 
+    if shared:
+        store: SharedColumnStore | None = SharedColumnStore(
+            config.num_students, _COHORT_COLUMNS
+        )
+        out = store.columns()
+        try:
+            return _generate_into(year, config, rng, out, store)
+        except BaseException:
+            # The caller never saw the cohort, so nothing else can release
+            # the segment.
+            store.close()
+            raise
+    out = {
+        name: np.empty(config.num_students, dtype=float) for name in _COHORT_COLUMNS
+    }
+    return _generate_into(year, config, rng, out, None)
+
+
+def _generate_into(
+    year: str,
+    config: SchoolGeneratorConfig,
+    rng: np.random.Generator,
+    out: dict[str, np.ndarray],
+    store: SharedColumnStore | None,
+) -> SchoolCohort:
+    """Generate a cohort's columns into ``out`` (heap arrays or store views)."""
     copula = _build_copula(config)
-    latent, values = copula.latent_and_sample(config.num_students, rng)
-    low_income = values["low_income"]
-    ell = values["ell"]
-    special_ed = values["special_ed"]
-    eni = values["eni"]
+    latent = copula.latent_and_sample_into(config.num_students, rng, out)
+    low_income = out["low_income"]
+    ell = out["ell"]
+    special_ed = out["special_ed"]
+    eni = out["eni"]
     ability = latent[:, 4]
 
     grade_shift = (
@@ -217,50 +293,37 @@ def generate_school_cohort(
     # observation that ELL students are "obviously disadvantaged by an
     # admission method that takes into account ELA grades and test scores".
     extra_ela_penalty = -0.35 * ell
-    grade_math = course_grade()
-    grade_ela = course_grade(extra_ela_penalty)
-    grade_science = course_grade()
-    grade_social = course_grade(extra_ela_penalty * 0.5)
+    out["grade_math"][...] = course_grade()
+    out["grade_ela"][...] = course_grade(extra_ela_penalty)
+    out["grade_science"][...] = course_grade()
+    out["grade_social_studies"][...] = course_grade(extra_ela_penalty * 0.5)
 
-    test_math = _test_scale(ability + test_shift + rng.normal(0.0, config.test_noise, config.num_students))
-    test_ela = _test_scale(
+    out["test_math"][...] = _test_scale(
+        ability + test_shift + rng.normal(0.0, config.test_noise, config.num_students)
+    )
+    out["test_ela"][...] = _test_scale(
         ability + test_shift + 2.0 * extra_ela_penalty + rng.normal(0.0, config.test_noise, config.num_students)
     )
 
-    gpa = (grade_math + grade_ela + grade_science + grade_social) / 4.0
-    test_scores = (test_math + test_ela) / 2.0
+    out["gpa"][...] = (
+        out["grade_math"] + out["grade_ela"] + out["grade_science"] + out["grade_social_studies"]
+    ) / 4.0
+    out["test_scores"][...] = (out["test_math"] + out["test_ela"]) / 2.0
 
-    absences = np.clip(
+    out["absences"][...] = np.clip(
         rng.poisson(4.0 + 6.0 * eni + 2.0 * low_income), 0, 60
     ).astype(float)
     # Districts with higher ids lean higher-need in this synthetic city, which
     # gives per-district experiments a realistic spread of demographics.
-    district = np.clip(
+    out["district"][...] = np.clip(
         np.floor(_NUM_DISTRICTS * (0.55 * eni + 0.45 * rng.uniform(size=config.num_students))) + 1,
         1,
         _NUM_DISTRICTS,
     ).astype(float)
+    out["student_id"][...] = np.arange(config.num_students, dtype=float)
 
-    table = Table(
-        {
-            "student_id": np.arange(config.num_students, dtype=float),
-            "grade_math": grade_math,
-            "grade_ela": grade_ela,
-            "grade_science": grade_science,
-            "grade_social_studies": grade_social,
-            "test_math": test_math,
-            "test_ela": test_ela,
-            "gpa": gpa,
-            "test_scores": test_scores,
-            "absences": absences,
-            "district": district,
-            "low_income": low_income,
-            "ell": ell,
-            "special_ed": special_ed,
-            "eni": eni,
-        }
-    )
-    return SchoolCohort(year=year, table=table, config=config)
+    table = Table({name: out[name] for name in _COHORT_COLUMNS})
+    return SchoolCohort(year=year, table=table, config=config, store=store)
 
 
 def generate_school_dataset(

@@ -29,6 +29,7 @@ def _evaluate_batch(
     specs: list[FitSpec],
     max_workers: int | None = None,
     executor: str | None = None,
+    row_workers: int | None = None,
 ) -> list[tuple[float, float, int, dict]]:
     """Fit every spec in one batch; report (norm, seconds, sample size, bonus) per spec.
 
@@ -36,7 +37,9 @@ def _evaluate_batch(
     timings stay meaningful even when the batch itself runs on a pool.
     """
     results = []
-    for fit in setting.fit_dca_batch(specs, max_workers=max_workers, executor=executor):
+    for fit in setting.fit_dca_batch(
+        specs, max_workers=max_workers, executor=executor, row_workers=row_workers
+    ):
         scores = setting.compensated_scores("test", fit.result.bonus)
         norm = setting.disparity("test", scores, fit.k)["norm"]
         results.append(
@@ -51,6 +54,7 @@ def run_sample_size(
     sample_sizes: Sequence[int | None] = (100, 250, 500, 1000, 2000, None),
     max_workers: int | None = None,
     executor: str | None = None,
+    row_workers: int | None = None,
 ) -> ExperimentResult:
     """Residual disparity and runtime for different per-step sample sizes."""
     setting = SchoolSetting(num_students=num_students)
@@ -64,7 +68,9 @@ def run_sample_size(
     ]
     rows = []
     for sample_size, (norm, seconds, actual, bonus) in zip(
-        sample_sizes, _evaluate_batch(setting, specs, max_workers=max_workers, executor=executor)
+        sample_sizes, _evaluate_batch(
+            setting, specs, max_workers=max_workers, executor=executor, row_workers=row_workers
+        )
     ):
         rows.append(
             {
@@ -83,6 +89,7 @@ def run_schedule(
     k: float = DEFAULT_K,
     max_workers: int | None = None,
     executor: str | None = None,
+    row_workers: int | None = None,
 ) -> ExperimentResult:
     """The paper's two-rate schedule vs single learning rates."""
     setting = SchoolSetting(num_students=num_students)
@@ -102,7 +109,9 @@ def run_schedule(
     ]
     rows = []
     for label, (norm, seconds, _, bonus) in zip(
-        schedules, _evaluate_batch(setting, specs, max_workers=max_workers, executor=executor)
+        schedules, _evaluate_batch(
+            setting, specs, max_workers=max_workers, executor=executor, row_workers=row_workers
+        )
     ):
         rows.append(
             {"schedule": label, "test_disparity_norm": norm, "seconds": seconds, "bonus": str(bonus)}
@@ -117,6 +126,7 @@ def run_granularity(
     granularities: Sequence[float] = (0.1, 0.25, 0.5, 1.0, 2.0),
     max_workers: int | None = None,
     executor: str | None = None,
+    row_workers: int | None = None,
 ) -> ExperimentResult:
     """Bonus rounding granularity vs residual disparity."""
     setting = SchoolSetting(num_students=num_students)
@@ -130,7 +140,9 @@ def run_granularity(
     ]
     rows = []
     for granularity, (norm, seconds, _, bonus) in zip(
-        granularities, _evaluate_batch(setting, specs, max_workers=max_workers, executor=executor)
+        granularities, _evaluate_batch(
+            setting, specs, max_workers=max_workers, executor=executor, row_workers=row_workers
+        )
     ):
         rows.append(
             {
@@ -149,6 +161,7 @@ def run(
     k: float = DEFAULT_K,
     max_workers: int | None = None,
     executor: str | None = None,
+    row_workers: int | None = None,
 ) -> ExperimentResult:
     """Run all three ablations and merge their tables."""
     merged = ExperimentResult(
@@ -156,9 +169,27 @@ def run(
         description="Sample-size, learning-rate-schedule, and granularity ablations",
     )
     for sub in (
-        run_sample_size(num_students=num_students, k=k, max_workers=max_workers, executor=executor),
-        run_schedule(num_students=num_students, k=k, max_workers=max_workers, executor=executor),
-        run_granularity(num_students=num_students, k=k, max_workers=max_workers, executor=executor),
+        run_sample_size(
+            num_students=num_students,
+            k=k,
+            max_workers=max_workers,
+            executor=executor,
+            row_workers=row_workers,
+        ),
+        run_schedule(
+            num_students=num_students,
+            k=k,
+            max_workers=max_workers,
+            executor=executor,
+            row_workers=row_workers,
+        ),
+        run_granularity(
+            num_students=num_students,
+            k=k,
+            max_workers=max_workers,
+            executor=executor,
+            row_workers=row_workers,
+        ),
     ):
         for label, rows in sub.tables.items():
             merged.add_table(label, rows)

@@ -14,6 +14,11 @@ Run a sweep-heavy experiment on the shared-memory process pool::
 
     repro-experiments run fig4 --executor process --workers 4
 
+Row-shard every fit of a sweep across shared-memory workers (bitwise
+identical results; pays off on large cohorts with large per-step samples)::
+
+    repro-experiments run fig4 --num-students 2000000 --row-workers 4
+
 Run the admissions match on the vectorized round-based engine, with schools
 proposing (the school-optimal matching)::
 
@@ -41,6 +46,21 @@ __all__ = ["main", "build_parser"]
 EXECUTOR_CHOICES = ("serial", "thread", "process")
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for worker counts: rejects 0/negative at parse time.
+
+    Failing inside ``argparse`` keeps the error next to the flag that caused
+    it, long before any pool or shared-memory segment exists.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text!r}")
+    return value
+
+
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--num-students", type=int, default=None, help="synthetic school cohort size override"
@@ -56,9 +76,20 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="pool size for the thread/process executors (default: one per job, capped at CPUs)",
+    )
+    parser.add_argument(
+        "--row-workers",
+        type=_positive_int,
+        default=None,
+        dest="row_workers",
+        help=(
+            "row-shard every DCA fit across this many shared-memory worker "
+            "processes (bitwise identical to the in-process fit; pays off on "
+            "large cohorts with large per-step samples)"
+        ),
     )
     parser.add_argument(
         "--engine",
@@ -108,6 +139,7 @@ def _run_one(
     workers: int | None = None,
     engine: str | None = None,
     proposing: str | None = None,
+    row_workers: int | None = None,
 ) -> ExperimentResult:
     """Invoke a runner, forwarding only the options its signature supports.
 
@@ -124,6 +156,7 @@ def _run_one(
         "max_workers": workers,
         "engine": engine,
         "proposing": proposing,
+        "row_workers": row_workers,
     }
     kwargs = {
         key: value
@@ -160,6 +193,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.workers,
             args.engine,
             args.proposing,
+            args.row_workers,
         )
         _emit(result.format(), args.output)
         return 0
@@ -174,6 +208,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     args.workers,
                     args.engine,
                     args.proposing,
+                    args.row_workers,
                 ).format()
             )
         _emit("\n\n".join(outputs), args.output)

@@ -26,6 +26,7 @@ def run(
     k_values: Sequence[float] = DEFAULT_K_SWEEP,
     max_workers: int | None = None,
     executor: str | None = None,
+    row_workers: int | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 10a/10b/10c series."""
     setting = CompasSetting(num_defendants=num_defendants)
@@ -49,7 +50,9 @@ def run(
     )
 
     # (a) bonus points recomputed for every k — one fit_many batch.
-    per_k_fits = setting.fit_dca_sweep(k_values, max_workers=max_workers, executor=executor)
+    per_k_fits = setting.fit_dca_sweep(
+        k_values, max_workers=max_workers, executor=executor, row_workers=row_workers
+    )
     fig10a_rows = []
     for k in k_values:
         scores = per_k_fits[float(k)].bonus.apply(table, base_scores)
@@ -59,7 +62,11 @@ def run(
     # (b) FPR-gap objective, again batched across the k sweep.
     fpr_objective = FalsePositiveRateObjective(setting.race_attributes, "two_year_recid")
     fpr_fits = setting.fit_dca_sweep(
-        k_values, objective=fpr_objective, max_workers=max_workers, executor=executor
+        k_values,
+        objective=fpr_objective,
+        max_workers=max_workers,
+        executor=executor,
+        row_workers=row_workers,
     )
     fig10b_rows = []
     baseline_fpr_rows = []

@@ -27,6 +27,7 @@ def run(
     use_rule_based_sample_size: bool = True,
     max_workers: int | None = None,
     executor: str | None = None,
+    row_workers: int | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 8a (disparity) and 8b (runtime) series."""
     setting = SchoolSetting(num_students=num_students)
@@ -49,7 +50,9 @@ def run(
             ("refined", base_config),
         )
     ]
-    fits = setting.fit_dca_batch(specs, max_workers=max_workers, executor=executor)
+    fits = setting.fit_dca_batch(
+        specs, max_workers=max_workers, executor=executor, row_workers=row_workers
+    )
 
     disparity_rows: list[dict[str, object]] = []
     timing_rows: list[dict[str, object]] = []

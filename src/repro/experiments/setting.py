@@ -52,20 +52,24 @@ def _sweep_fits(
     objective: FairnessObjective | None,
     max_workers: int | None,
     executor: str | None = None,
+    row_workers: int | None = None,
 ) -> dict[float, DCAResult]:
     """One fit per selection fraction via ``fit_many``, keyed by ``k``.
 
     Shared by the school and COMPAS settings: both sweep helpers only differ
     in which score function / attribute set they default to.  ``executor``
     selects the :meth:`repro.core.DCA.fit_many` backend (``"serial"``,
-    ``"thread"``, or the shared-memory ``"process"`` pool).
+    ``"thread"``, or the shared-memory ``"process"`` pool); ``row_workers``
+    additionally row-shards each fit (see :meth:`repro.core.DCA.fit`).
     """
     ks = tuple(float(k) for k in ks)  # materialize once: ks may be a generator
     if not ks:
         raise ValueError("at least one selection fraction is required")
     attributes = objective.attribute_names if objective is not None else default_attributes
     dca = DCA(attributes, score_function, k=max(ks), objective=objective, config=config)
-    fits = dca.fit_many(table, ks=ks, max_workers=max_workers, executor=executor)
+    fits = dca.fit_many(
+        table, ks=ks, max_workers=max_workers, executor=executor, row_workers=row_workers
+    )
     return {fit.k: fit.result for fit in fits}
 
 
@@ -105,13 +109,15 @@ class SchoolSetting:
         k: float,
         objective: FairnessObjective | None = None,
         config: DCAConfig | None = None,
+        row_workers: int | None = None,
     ):
         """Fit DCA on the training cohort at selection fraction ``k``.
 
         When an objective over a subset of the fairness attributes is given
         (e.g. the binary-only attributes used by the disparate-impact and
         exposure experiments), the bonus vector is fitted over exactly those
-        attributes.
+        attributes.  ``row_workers`` row-shards the single fit across
+        shared-memory workers (see :meth:`repro.core.DCA.fit`).
         """
         attributes = objective.attribute_names if objective is not None else self.fairness_attributes
         dca = DCA(
@@ -121,7 +127,7 @@ class SchoolSetting:
             objective=objective,
             config=config or self.dca_config,
         )
-        return dca.fit(self.train.table)
+        return dca.fit(self.train.table, row_workers=row_workers)
 
     def fit_dca_sweep(
         self,
@@ -130,13 +136,15 @@ class SchoolSetting:
         config: DCAConfig | None = None,
         max_workers: int | None = None,
         executor: str | None = None,
+        row_workers: int | None = None,
     ) -> dict[float, DCAResult]:
         """Fit one bonus vector per selection fraction in ``ks`` in a single batch.
 
         This is the Figure 1 / Figure 4a "k known in advance" workload routed
         through :meth:`repro.core.DCA.fit_many`; results are keyed by ``k``.
         ``executor``/``max_workers`` select and size the batch backend
-        (``"process"`` runs the fits on the shared-memory process pool).
+        (``"process"`` runs the fits on the shared-memory process pool);
+        ``row_workers`` row-shards each individual fit.
         """
         return _sweep_fits(
             self.fairness_attributes,
@@ -147,6 +155,7 @@ class SchoolSetting:
             objective,
             max_workers,
             executor,
+            row_workers,
         )
 
     def fit_dca_batch(
@@ -154,14 +163,20 @@ class SchoolSetting:
         specs: list[FitSpec],
         max_workers: int | None = None,
         executor: str | None = None,
+        row_workers: int | None = None,
     ) -> list[BatchFitResult]:
         """Run a heterogeneous batch of DCA fits (the ablation workloads).
 
-        ``executor`` selects the :meth:`repro.core.DCA.fit_many` backend.
+        ``executor`` selects the :meth:`repro.core.DCA.fit_many` backend;
+        ``row_workers`` row-shards each individual fit.
         """
         dca = DCA(self.fairness_attributes, self.rubric, k=DEFAULT_K, config=self.dca_config)
         return dca.fit_many(
-            self.train.table, specs=specs, max_workers=max_workers, executor=executor
+            self.train.table,
+            specs=specs,
+            max_workers=max_workers,
+            executor=executor,
+            row_workers=row_workers,
         )
 
     def compensated_scores(self, which: str, bonus: BonusVector) -> np.ndarray:
@@ -206,6 +221,7 @@ class CompasSetting:
         k: float,
         objective: FairnessObjective | None = None,
         config: DCAConfig | None = None,
+        row_workers: int | None = None,
     ):
         attributes = objective.attribute_names if objective is not None else self.race_attributes
         dca = DCA(
@@ -215,7 +231,7 @@ class CompasSetting:
             objective=objective,
             config=config or self.dca_config,
         )
-        return dca.fit(self.table)
+        return dca.fit(self.table, row_workers=row_workers)
 
     def fit_dca_sweep(
         self,
@@ -224,12 +240,14 @@ class CompasSetting:
         config: DCAConfig | None = None,
         max_workers: int | None = None,
         executor: str | None = None,
+        row_workers: int | None = None,
     ) -> dict[float, DCAResult]:
         """Fit one bonus vector per selection fraction in ``ks`` in a single batch.
 
         The per-k COMPAS workloads (Figure 10a/10b) routed through
         :meth:`repro.core.DCA.fit_many`; results are keyed by ``k``.
-        ``executor``/``max_workers`` select and size the batch backend.
+        ``executor``/``max_workers`` select and size the batch backend;
+        ``row_workers`` row-shards each individual fit.
         """
         return _sweep_fits(
             self.race_attributes,
@@ -240,6 +258,7 @@ class CompasSetting:
             objective,
             max_workers,
             executor,
+            row_workers,
         )
 
     def fit_dca_batch(
@@ -247,10 +266,18 @@ class CompasSetting:
         specs: list[FitSpec],
         max_workers: int | None = None,
         executor: str | None = None,
+        row_workers: int | None = None,
     ) -> list[BatchFitResult]:
         """Run a heterogeneous batch of DCA fits against the release ranking.
 
-        ``executor`` selects the :meth:`repro.core.DCA.fit_many` backend.
+        ``executor`` selects the :meth:`repro.core.DCA.fit_many` backend;
+        ``row_workers`` row-shards each individual fit.
         """
         dca = DCA(self.race_attributes, self.ranking_function, k=DEFAULT_K, config=self.dca_config)
-        return dca.fit_many(self.table, specs=specs, max_workers=max_workers, executor=executor)
+        return dca.fit_many(
+            self.table,
+            specs=specs,
+            max_workers=max_workers,
+            executor=executor,
+            row_workers=row_workers,
+        )

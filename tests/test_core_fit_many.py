@@ -283,3 +283,56 @@ class TestObjectiveCache:
         del mortal
         gc.collect()
         assert len(cache) == 0
+
+    def test_direct_compile_entry_dies_with_table(self, population):
+        """The weakref contract holds for direct cache.compile() use too."""
+        import gc
+
+        cache = CompiledObjectiveCache()
+        mortal = population.take(np.arange(400))
+        objective = DisparityObjective(("protected",)).fit(mortal)
+        cache.compile(objective, mortal)
+        assert (cache.hits, cache.misses, len(cache)) == (0, 1, 1)
+        cache.compile(objective, mortal)
+        assert (cache.hits, cache.misses, len(cache)) == (1, 1, 1)
+        del mortal, objective
+        gc.collect()
+        assert len(cache) == 0
+
+    def test_dead_entry_not_resurrected_by_signature_collision(self, population):
+        """A dead table's cache slot must never serve a successor population.
+
+        Populations are keyed by ``id()``, which CPython recycles
+        aggressively: a table allocated right after another dies frequently
+        lands on the same address.  An equal objective signature on such a
+        successor must be a cache *miss* compiled against the new table —
+        resurrecting the dead entry's arrays would silently evaluate the
+        wrong population.
+        """
+        import gc
+
+        cache = CompiledObjectiveCache()
+        first = population.take(np.arange(300))
+        objective = DisparityObjective(("protected",)).fit(first)
+        dead_matrix = cache.compile(objective, first)._matrix.copy()
+        dead_id = id(first)
+        del first, objective
+        gc.collect()
+        assert len(cache) == 0
+
+        # Hunt for an id() collision; even without one the assertions below
+        # still pin the fresh-compile behavior.
+        collided = False
+        for start in range(50):
+            successor = population.take(np.arange(start, start + 300))
+            if id(successor) == dead_id:
+                collided = True
+                break
+        objective = DisparityObjective(("protected",)).fit(successor)
+        misses_before = cache.misses
+        compiled = cache.compile(objective, successor)
+        assert cache.misses == misses_before + 1  # fresh compile, not a stale hit
+        expected = objective.compile(successor)._matrix
+        assert np.array_equal(compiled._matrix, expected)
+        if collided:  # the recycled id really did point at different data
+            assert not np.array_equal(compiled._matrix, dead_matrix)

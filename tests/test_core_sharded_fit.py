@@ -1,0 +1,520 @@
+"""Row-sharded single-fit execution: the map-reduce objective contract.
+
+Two layers are pinned here:
+
+* the :class:`~repro.core.objectives.CompiledObjective` map-reduce contract —
+  ``merge(partials)`` must be bitwise identical to ``evaluate`` for every
+  built-in objective, for any partition of the sample into shards;
+* the :class:`~repro.core.parallel.ShardedFitPlane` end to end —
+  ``DCA.fit(row_workers=N)`` must be bitwise identical to the in-process
+  serial fit on the school and COMPAS cohorts (the acceptance setting), for
+  any worker count and shard geometry, composing with ``fit_many``, RNG
+  batching, and the table-engine fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCA,
+    DCAConfig,
+    DisparateImpactObjective,
+    DisparityObjective,
+    DisparityResult,
+    ExposureGapObjective,
+    FairnessObjective,
+    FalsePositiveRateObjective,
+    FitSpec,
+    LogDiscountedDisparityObjective,
+    SampleStream,
+    SharedColumnStore,
+)
+from repro.datasets import compas_release_ranking_function
+from repro.ranking import ColumnScore, selection_mask
+from repro.tabular import Table
+
+FAST = DCAConfig(seed=17, iterations=20, refinement_iterations=30, sample_size=400)
+
+
+def _assert_fit_identical(serial, sharded) -> None:
+    assert np.array_equal(serial.raw_bonus.values, sharded.raw_bonus.values)
+    assert np.array_equal(serial.core_bonus.values, sharded.core_bonus.values)
+    assert np.array_equal(serial.bonus.values, sharded.bonus.values)
+    assert serial.sample_size == sharded.sample_size
+    for trace_s, trace_p in zip(serial.traces, sharded.traces):
+        assert trace_s.phase == trace_p.phase
+        assert np.array_equal(trace_s.bonus_history, trace_p.bonus_history)
+        assert np.array_equal(trace_s.objective_norms, trace_p.objective_norms)
+
+
+# ----------------------------------------------------------------------
+# The map-reduce contract at the objective level
+# ----------------------------------------------------------------------
+def _contract_population(n: int = 3000, seed: int = 9) -> Table:
+    rng = np.random.default_rng(seed)
+    group_a = (rng.uniform(size=n) < 0.25).astype(float)
+    group_b = (rng.uniform(size=n) < 0.6).astype(float)
+    label = (rng.uniform(size=n) < 0.4).astype(float)
+    score = rng.normal(10.0, 2.0, size=n) - 1.5 * group_a - 0.5 * group_b
+    return Table({"score": score, "group_a": group_a, "group_b": group_b, "label": label})
+
+
+OBJECTIVES = [
+    pytest.param(lambda: DisparityObjective(("group_a", "group_b")), id="disparity"),
+    pytest.param(
+        lambda: LogDiscountedDisparityObjective(("group_a", "group_b")), id="log-discounted"
+    ),
+    pytest.param(lambda: DisparateImpactObjective(("group_a", "group_b")), id="disparate-impact"),
+    pytest.param(
+        lambda: FalsePositiveRateObjective(("group_a", "group_b"), label_column="label"),
+        id="fpr",
+    ),
+    pytest.param(lambda: ExposureGapObjective(("group_a", "group_b")), id="exposure"),
+]
+
+
+class TestMapReduceContract:
+    """merge(partials) == evaluate, bitwise, for any shard split."""
+
+    @pytest.mark.parametrize("make_objective", OBJECTIVES)
+    @pytest.mark.parametrize("num_shards", [1, 2, 5])
+    def test_merge_of_partials_matches_evaluate(self, make_objective, num_shards):
+        table = _contract_population()
+        objective = make_objective().fit(table)
+        compiled = objective.compile(table)
+        assert compiled.shard_fields() is not None
+        rng = np.random.default_rng(4)
+        indices = rng.choice(table.num_rows, size=500, replace=False)
+        scores = rng.normal(size=500)
+        expected = compiled.evaluate(indices, scores, 0.2)
+
+        # Split the sample into contiguous position runs (shard-rank order).
+        splits = np.array_split(np.arange(indices.size), num_shards)
+        accumulators = [
+            compiled.partial(indices[pos], scores[pos], 0.2) for pos in splits
+        ]
+        merged = compiled.merge(accumulators, 0.2)
+        assert np.array_equal(merged, expected)
+
+    @pytest.mark.parametrize("make_objective", OBJECTIVES)
+    def test_partial_emits_declared_fields(self, make_objective):
+        table = _contract_population()
+        objective = make_objective().fit(table)
+        compiled = objective.compile(table)
+        fields = compiled.shard_fields()
+        indices = np.arange(40)
+        accumulator = compiled.partial(indices, np.zeros(40), 0.2)
+        assert set(accumulator) == {"scores", *fields}
+        for name, (dtype, columns) in fields.items():
+            block = accumulator[name]
+            assert block.dtype == np.dtype(dtype)
+            expected_shape = (40,) if columns == 0 else (40, columns)
+            assert block.shape == expected_shape
+
+    def test_merge_rejects_empty_accumulator_list(self):
+        table = _contract_population()
+        compiled = DisparityObjective(("group_a",)).fit(table).compile(table)
+        with pytest.raises(ValueError, match="at least one shard"):
+            compiled.merge([], 0.2)
+
+    def test_table_fallback_declares_non_support(self):
+        table = _contract_population()
+        objective = _TableOnlyObjective(("group_a",))
+        compiled = objective.compile(table)
+        assert compiled.shard_fields() is None
+        with pytest.raises(NotImplementedError, match="table-path"):
+            compiled.partial(np.arange(5), np.zeros(5), 0.2)
+        with pytest.raises(NotImplementedError, match="table-path"):
+            compiled.merge([{}], 0.2)
+
+
+class _TableOnlyObjective(FairnessObjective):
+    """A custom objective with no compiled form: exercises the fallback path."""
+
+    def evaluate(self, table, scores, k):
+        mask = selection_mask(np.asarray(scores, dtype=float), k)
+        values = np.zeros(len(self.attribute_names))
+        for i, name in enumerate(self.attribute_names):
+            member = table.numeric(name) > 0.5
+            if member.any():
+                values[i] = float(mask[member].mean() - mask.mean())
+        return DisparityResult(self.attribute_names, values)
+
+
+# ----------------------------------------------------------------------
+# End-to-end sharded fits: the acceptance cohorts
+# ----------------------------------------------------------------------
+class TestShardedFitSchool:
+    """The acceptance pin: sharded == serial on the school cohort, bitwise."""
+
+    def test_row_workers_bitwise_identical(self, school_train, rubric, school_attributes):
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        serial = dca.fit(school_train.table)
+        sharded = dca.fit(school_train.table, row_workers=2)
+        _assert_fit_identical(serial, sharded)
+
+    def test_shard_geometry_is_irrelevant(self, school_train, rubric, school_attributes):
+        """Odd shard sizes (more shards than workers) change nothing."""
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        serial = dca.fit(school_train.table)
+        sharded = dca.fit(school_train.table, row_workers=2, shard_rows=777)
+        _assert_fit_identical(serial, sharded)
+
+    def test_config_carried_row_workers(self, school_train, rubric, school_attributes):
+        config = replace(FAST, row_workers=2, shard_rows=1500)
+        serial = DCA(school_attributes, rubric, k=0.05, config=FAST).fit(school_train.table)
+        sharded = DCA(school_attributes, rubric, k=0.05, config=config).fit(school_train.table)
+        _assert_fit_identical(serial, sharded)
+
+    def test_log_discounted_objective_sharded(self, school_train, rubric, school_attributes):
+        objective = LogDiscountedDisparityObjective(school_attributes)
+        dca = DCA(school_attributes, rubric, k=0.3, objective=objective, config=FAST)
+        serial = dca.fit(school_train.table)
+        sharded = dca.fit(school_train.table, row_workers=3)
+        _assert_fit_identical(serial, sharded)
+
+    def test_table_engine_falls_back_in_process(self, school_train, rubric, school_attributes):
+        """engine="table" has no array plane: row_workers degrades gracefully."""
+        config = replace(FAST, engine="table")
+        dca = DCA(school_attributes, rubric, k=0.05, config=config)
+        serial = dca.fit(school_train.table)
+        sharded = dca.fit(school_train.table, row_workers=2)
+        _assert_fit_identical(serial, sharded)
+
+    def test_custom_table_objective_falls_back(self, school_train, rubric):
+        objective = _TableOnlyObjective(("low_income",))
+        dca = DCA(("low_income",), rubric, k=0.05, objective=objective, config=FAST)
+        serial = dca.fit(school_train.table)
+        sharded = dca.fit(school_train.table, row_workers=2)
+        _assert_fit_identical(serial, sharded)
+
+
+class TestShardedFitCompas:
+    """The second acceptance cohort: COMPAS release ranking, race attributes."""
+
+    CONFIG = DCAConfig(seed=23, iterations=20, refinement_iterations=30, sample_size=500)
+
+    def test_row_workers_bitwise_identical(self, compas_dataset):
+        dca = DCA(
+            compas_dataset.race_attributes,
+            compas_release_ranking_function(),
+            k=0.5,
+            config=self.CONFIG,
+        )
+        serial = dca.fit(compas_dataset.table)
+        sharded = dca.fit(compas_dataset.table, row_workers=2)
+        _assert_fit_identical(serial, sharded)
+
+    def test_fpr_objective_sharded(self, compas_dataset):
+        objective = FalsePositiveRateObjective(
+            compas_dataset.race_attributes, label_column="two_year_recid"
+        )
+        dca = DCA(
+            compas_dataset.race_attributes,
+            compas_release_ranking_function(),
+            k=0.5,
+            objective=objective,
+            config=self.CONFIG,
+        )
+        serial = dca.fit(compas_dataset.table)
+        sharded = dca.fit(compas_dataset.table, row_workers=2)
+        _assert_fit_identical(serial, sharded)
+
+
+class TestComposition:
+    """Job sharding and row sharding compose."""
+
+    def test_fit_many_row_workers_serial_executor(self, school_train, rubric, school_attributes):
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        plain = dca.fit_many(school_train.table, seeds=(1, 2))
+        sharded = dca.fit_many(school_train.table, seeds=(1, 2), row_workers=2)
+        for left, right in zip(plain, sharded):
+            _assert_fit_identical(left.result, right.result)
+
+    def test_fit_many_row_workers_preserves_caller_specs(
+        self, school_train, rubric, school_attributes
+    ):
+        """The batch-level override must not leak into BatchFitResult.spec."""
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        specs = [FitSpec(seed=1, label="mine")]
+        batch = dca.fit_many(school_train.table, specs=specs, row_workers=2)
+        assert batch[0].spec is specs[0]
+        assert specs[0].config is None  # caller's spec untouched
+
+    def test_fit_many_row_workers_process_executor(self, school_train, rubric, school_attributes):
+        """Row-sharded jobs run in the parent under executor="process"."""
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        plain = dca.fit_many(school_train.table, seeds=(1, 2))
+        sharded = dca.fit_many(
+            school_train.table, seeds=(1, 2), executor="process", row_workers=2
+        )
+        for left, right in zip(plain, sharded):
+            _assert_fit_identical(left.result, right.result)
+
+    def test_fit_many_row_workers_thread_executor(self, school_train, rubric, school_attributes):
+        """Deadlock regression: row-sharded jobs must not fork from pool threads.
+
+        Under ``executor="thread"`` a row-sharded job forks its worker pool
+        only after the thread pool has drained — forking while sibling
+        threads hold locks hangs the children.  A mixed batch (one plain
+        job, one row-sharded via spec config) pins both the ordering and
+        the bitwise results.
+        """
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        specs = [
+            FitSpec(seed=1, config=replace(FAST, row_workers=2)),
+            FitSpec(seed=2),
+        ]
+        plain = dca.fit_many(school_train.table, specs=specs, executor="serial")
+        threaded = dca.fit_many(
+            school_train.table, specs=specs, executor="thread", max_workers=2
+        )
+        for left, right in zip(plain, threaded):
+            _assert_fit_identical(left.result, right.result)
+
+
+class TestRngBatching:
+    """The opt-in per-phase RNG batching mode (satellite)."""
+
+    def test_default_mode_is_per_step(self):
+        assert DCAConfig().rng_batching == "per_step"
+
+    def test_per_phase_is_deterministic(self, school_train, rubric, school_attributes):
+        config = replace(FAST, rng_batching="per_phase")
+        dca = DCA(school_attributes, rubric, k=0.05, config=config)
+        first = dca.fit(school_train.table)
+        second = dca.fit(school_train.table)
+        _assert_fit_identical(first, second)
+
+    def test_per_phase_differs_from_per_step(self, school_train, rubric, school_attributes):
+        """The documented history break: batched draws change the stream."""
+        per_step = DCA(school_attributes, rubric, k=0.05, config=FAST).fit(school_train.table)
+        per_phase = DCA(
+            school_attributes, rubric, k=0.05, config=replace(FAST, rng_batching="per_phase")
+        ).fit(school_train.table)
+        assert not np.array_equal(per_step.raw_bonus.values, per_phase.raw_bonus.values)
+
+    def test_per_phase_engines_agree(self, school_train, rubric, school_attributes):
+        """Both engines consume the batched stream identically."""
+        results = {}
+        for engine in ("array", "table"):
+            config = replace(FAST, rng_batching="per_phase", engine=engine)
+            results[engine] = DCA(school_attributes, rubric, k=0.05, config=config).fit(
+                school_train.table
+            )
+        _assert_fit_identical(results["array"], results["table"])
+
+    def test_per_phase_sharded_matches_serial(self, school_train, rubric, school_attributes):
+        config = replace(FAST, rng_batching="per_phase")
+        dca = DCA(school_attributes, rubric, k=0.05, config=config)
+        serial = dca.fit(school_train.table)
+        sharded = dca.fit(school_train.table, row_workers=2)
+        _assert_fit_identical(serial, sharded)
+
+    def test_draw_phase_indices_one_matrix(self):
+        stream = SampleStream(1000, 50, rng=np.random.default_rng(3))
+        matrix = stream.draw_phase_indices(7)
+        assert matrix.shape == (7, 50)
+        assert matrix.dtype == np.int64
+        assert matrix.min() >= 0 and matrix.max() < 1000
+        # Same seed, same single generator call -> same matrix.
+        again = SampleStream(1000, 50, rng=np.random.default_rng(3)).draw_phase_indices(7)
+        assert np.array_equal(matrix, again)
+
+    def test_draw_phase_indices_full_population_consumes_no_rng(self):
+        rng = np.random.default_rng(3)
+        stream = SampleStream(40, 40, rng=rng)
+        matrix = stream.draw_phase_indices(3)
+        assert matrix.shape == (3, 40)
+        assert np.array_equal(matrix[0], np.arange(40))
+        # The RNG state is untouched, mirroring draw_indices.
+        assert np.array_equal(
+            rng.integers(0, 100, size=4), np.random.default_rng(3).integers(0, 100, size=4)
+        )
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="rng_batching"):
+            DCAConfig(rng_batching="per_fit").validate()
+
+
+class TestEagerValidation:
+    """Zero/negative worker knobs fail fast, before any pool exists (satellite)."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_fit_rejects_bad_row_workers(self, school_train, rubric, school_attributes, bad):
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        with pytest.raises(ValueError, match="row_workers"):
+            dca.fit(school_train.table, row_workers=bad)
+
+    def test_fit_rejects_bad_shard_rows(self, school_train, rubric, school_attributes):
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        with pytest.raises(ValueError, match="shard_rows"):
+            dca.fit(school_train.table, row_workers=2, shard_rows=0)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_fit_many_rejects_bad_max_workers(self, school_train, rubric, school_attributes, bad):
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        with pytest.raises(ValueError, match="max_workers"):
+            dca.fit_many(school_train.table, seeds=(1, 2), max_workers=bad)
+
+    def test_fit_many_rejects_bad_row_workers(self, school_train, rubric, school_attributes):
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        with pytest.raises(ValueError, match="row_workers"):
+            dca.fit_many(school_train.table, seeds=(1,), row_workers=0)
+
+    def test_config_validates_worker_knobs(self):
+        with pytest.raises(ValueError, match="row_workers"):
+            DCAConfig(row_workers=0).validate()
+        with pytest.raises(ValueError, match="shard_rows"):
+            DCAConfig(shard_rows=-2).validate()
+
+    def test_cli_rejects_bad_worker_flags(self):
+        from repro.experiments.cli import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["run", "fig4", "--workers", "0"],
+            ["run", "fig4", "--row-workers", "-1"],
+            ["run", "fig4", "--row-workers", "two"],
+        ):
+            with pytest.raises(SystemExit):
+                parser.parse_args(argv)
+
+
+# ----------------------------------------------------------------------
+# Stratified sampling (satellite)
+# ----------------------------------------------------------------------
+class TestStratifiedSampling:
+    def _rare_population(self, n: int = 20_000, frequency: float = 0.005) -> Table:
+        rng = np.random.default_rng(7)
+        rare = np.zeros(n)
+        members = rng.choice(n, size=max(1, int(round(n * frequency))), replace=False)
+        rare[members] = 1.0
+        score = rng.normal(10.0, 2.0, size=n) - rare
+        return Table({"score": score, "rare": rare})
+
+    def test_rare_group_guaranteed_per_draw(self):
+        """The 0.5%-frequency regression: every stratified draw has >= 1 member."""
+        table = self._rare_population()
+        member_mask = table.numeric("rare") > 0.5
+        plain = SampleStream(table, 500, rng=np.random.default_rng(1))
+        missing = sum(
+            1 for _ in range(200) if not member_mask[plain.draw_indices()].any()
+        )
+        assert missing > 0  # uniform draws really do miss the group
+        stratified = SampleStream(
+            table, 500, rng=np.random.default_rng(1), stratify=("rare",)
+        )
+        for _ in range(200):
+            indices = stratified.draw_indices()
+            assert member_mask[indices].any()
+            assert indices.size == 500
+            assert np.unique(indices).size == 500  # still a without-replacement draw
+
+    def test_majority_one_attribute_protects_complement(self):
+        """The rarest *side* is protected: a 99.5%-mean attribute guards its 0s."""
+        table = self._rare_population()
+        inverted = Table(
+            {"score": table.numeric("score"), "rare": 1.0 - table.numeric("rare")}
+        )
+        complement = inverted.numeric("rare") < 0.5
+        stream = SampleStream(
+            inverted, 500, rng=np.random.default_rng(2), stratify=("rare",)
+        )
+        for _ in range(100):
+            assert complement[stream.draw_indices()].any()
+
+    def test_stratify_requires_table(self):
+        with pytest.raises(TypeError, match="table-backed"):
+            SampleStream(1000, 50, stratify=("rare",))
+
+    def test_continuous_and_degenerate_attributes_skipped(self):
+        rng = np.random.default_rng(5)
+        table = Table(
+            {
+                "score": rng.normal(size=400),
+                "eni": rng.uniform(size=400),
+                "all_ones": np.ones(400),
+            }
+        )
+        stream = SampleStream(
+            table, 50, rng=np.random.default_rng(5), stratify=("eni", "all_ones")
+        )
+        assert stream.draw_indices().size == 50  # no strata built, plain uniform
+
+    def test_dca_config_knob_and_process_fallback(self):
+        """stratified_sampling threads through fit and falls back under 'process'."""
+        table = self._rare_population(n=4000, frequency=0.01)
+        config = DCAConfig(
+            seed=11, iterations=15, refinement_iterations=15, sample_size=150,
+            stratified_sampling=True,
+        )
+        dca = DCA(["rare"], ColumnScore("score"), k=0.2, config=config)
+        serial = dca.fit_many(table, seeds=(1, 2))
+        process = dca.fit_many(table, seeds=(1, 2), executor="process")
+        for left, right in zip(serial, process):
+            _assert_fit_identical(left.result, right.result)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory cohort generation (tentpole satellite surface)
+# ----------------------------------------------------------------------
+class TestSharedColumnStore:
+    def test_round_trip_and_table_views(self):
+        with SharedColumnStore(100, ("a", "b")) as store:
+            store.view("a")[...] = np.arange(100, dtype=float)
+            store.view("b")[...] = np.ones(100)
+            table = store.table()
+            assert np.array_equal(table.numeric("a"), np.arange(100, dtype=float))
+            # Continuous float columns are zero-copy views into the segment.
+            store.view("a")[0] = 41.0
+            assert table.numeric("a")[0] == 41.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_rows"):
+            SharedColumnStore(0, ("a",))
+        with pytest.raises(ValueError, match="column name"):
+            SharedColumnStore(10, ())
+
+    def test_shared_cohort_bitwise_identical_to_plain(self):
+        from repro.datasets import SchoolGeneratorConfig, generate_school_cohort
+
+        config = SchoolGeneratorConfig(num_students=2000)
+        plain = generate_school_cohort("store-test", config, seed=13)
+        shared = generate_school_cohort("store-test", config, seed=13, shared=True)
+        try:
+            assert shared.store is not None
+            for name in (
+                "student_id", "gpa", "test_scores", "grade_ela", "test_math",
+                "absences", "district", "low_income", "ell", "special_ed", "eni",
+            ):
+                assert np.array_equal(plain.table.numeric(name), shared.table.numeric(name)), name
+        finally:
+            shared.close()
+        plain.close()  # no-op for unshared cohorts
+
+    def test_copula_sample_into_matches_sample(self):
+        from repro.datasets.copula import GaussianCopula, binary_marginal, uniform_marginal
+
+        copula = GaussianCopula(
+            [binary_marginal("flag", 0.3), uniform_marginal("level", 0.0, 2.0)],
+            np.array([[1.0, 0.4], [0.4, 1.0]]),
+        )
+        direct = copula.sample(500, np.random.default_rng(21))
+        out = {"flag": np.empty(500), "level": np.empty(500)}
+        copula.latent_and_sample_into(500, np.random.default_rng(21), out)
+        assert np.array_equal(direct["flag"], out["flag"])
+        assert np.array_equal(direct["level"], out["level"])
+
+    def test_sample_into_rejects_bad_buffer_shape(self):
+        from repro.datasets.copula import GaussianCopula, binary_marginal
+
+        copula = GaussianCopula([binary_marginal("flag", 0.3)], np.eye(1))
+        with pytest.raises(ValueError, match="shape"):
+            copula.latent_and_sample_into(
+                100, np.random.default_rng(0), {"flag": np.empty(99)}
+            )
