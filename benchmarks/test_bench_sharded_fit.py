@@ -68,8 +68,10 @@ def _usable_cores() -> int:
 def cohort():
     config = SchoolGeneratorConfig(num_students=SHARD_STUDENTS)
     cohort = generate_school_cohort("bench-sharded-fit", config, seed=6, shared=True)
-    yield cohort
-    cohort.close()
+    try:
+        yield cohort
+    finally:
+        cohort.close()
 
 
 @pytest.fixture(scope="module")

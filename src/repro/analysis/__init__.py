@@ -1,0 +1,55 @@
+"""``repro.analysis`` — static contract auditing + runtime shm sanitizing.
+
+Two complementary halves:
+
+* **repro-lint** (this module's public API and ``python -m repro.analysis``):
+  an ``ast``-based auditor enforcing the four repo contracts — R1
+  determinism, R2 shared-memory lifecycle, R3 compiled-objective
+  map-reduce purity, R4 worker-boundary pickling.  See
+  ``docs/contracts.md`` for the contracts and the
+  ``# repro-lint: disable=RULE`` escape hatch.
+* **:mod:`repro.analysis.shm_sanitizer`**: a runtime leak detector that
+  snapshots shared-memory segments around each test and fails the suite on
+  anything left behind — including segments leaked by *subprocesses*.
+
+The lint half is intentionally dependency-free (stdlib ``ast`` only) so CI
+can audit the tree without installing numpy first.
+"""
+
+from __future__ import annotations
+
+from .lint import (
+    Finding,
+    HOT_PATH_DIRS,
+    LintModule,
+    Rule,
+    iter_python_files,
+    lint_file,
+    lint_source,
+    run_lint,
+)
+from .rules import (
+    DEFAULT_RULES,
+    CompiledContractRule,
+    DeterminismRule,
+    ShmLifecycleRule,
+    WorkerPicklingRule,
+    rules_by_id,
+)
+
+__all__ = [
+    "CompiledContractRule",
+    "DEFAULT_RULES",
+    "DeterminismRule",
+    "Finding",
+    "HOT_PATH_DIRS",
+    "LintModule",
+    "Rule",
+    "ShmLifecycleRule",
+    "WorkerPicklingRule",
+    "iter_python_files",
+    "lint_file",
+    "lint_source",
+    "rules_by_id",
+    "run_lint",
+]

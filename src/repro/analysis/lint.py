@@ -1,0 +1,259 @@
+"""The ``repro-lint`` engine: parse files, run rules, filter disables.
+
+The contracts this package audits are *repo-specific* — they encode the
+bitwise-identity and shared-memory discipline documented in
+``docs/contracts.md`` rather than general style.  The engine is therefore
+deliberately small: a :class:`LintModule` wraps one parsed source file with
+the cross-rule conveniences every rule needs (parent links, an import table
+for resolving dotted call names, the disable-comment map, hot-path
+classification), and a :class:`Rule` yields :class:`Finding` objects.
+
+Nothing here imports numpy or the rest of :mod:`repro`; the auditor must be
+runnable in a bare interpreter so CI can lint before heavier dependencies
+are even importable.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "HOT_PATH_DIRS",
+    "LintModule",
+    "Rule",
+    "ancestors",
+    "dotted_name",
+    "iter_python_files",
+    "lint_file",
+    "lint_source",
+    "run_lint",
+]
+
+#: ``# repro-lint: disable=R1,R2`` (or ``disable=all``) suppresses findings
+#: reported on the same source line.
+_DISABLE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Directories whose files count as determinism-critical hot paths (R1).
+HOT_PATH_DIRS = frozenset({"core", "matching", "ranking"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a ``path:line``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self, style: str = "text") -> str:
+        """Render for the terminal (``text``) or as a CI annotation (``github``)."""
+        if style == "github":
+            return (
+                f"::error file={self.path},line={self.line},"
+                f"title=repro-lint {self.rule}::{self.message}"
+            )
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk parent links (installed by :class:`LintModule`) to the module."""
+    current = getattr(node, "parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "parent", None)
+
+
+def _build_import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the fully dotted import they refer to.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random import
+    default_rng`` maps ``default_rng -> numpy.random.default_rng``.  Relative
+    imports keep their module path without the package prefix, which is
+    enough for rules matching on suffixes.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds the root name ``a`` only.
+                    root = alias.name.split(".")[0]
+                    table[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def _disabled_lines(source: str) -> dict[int, frozenset[str]]:
+    disabled: dict[int, frozenset[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _DISABLE.search(line)
+        if match:
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if ids:
+                disabled[number] = ids
+    return disabled
+
+
+class LintModule:
+    """One parsed source file plus the shared context rules operate on."""
+
+    def __init__(self, path: str | Path, source: str) -> None:
+        self.path = str(path)
+        self.source = source
+        self.tree = ast.parse(source, filename=self.path)
+        self.tree.parent = None  # type: ignore[attr-defined]
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child.parent = node  # type: ignore[attr-defined]
+        self.imports = _build_import_table(self.tree)
+        self.disabled = _disabled_lines(source)
+        #: R1 only fires on determinism-critical directories.
+        self.is_hot_path = any(part in HOT_PATH_DIRS for part in Path(self.path).parts)
+
+    def resolve_call(self, func: ast.AST) -> str | None:
+        """Fully qualified dotted name of a call target, via the import table.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` under
+        ``import numpy as np``; names rooted in local variables resolve to
+        ``None`` (we cannot know what they are, so rules must not guess).
+        """
+        name = dotted_name(func)
+        if name is None:
+            return None
+        root, _, rest = name.partition(".")
+        resolved_root = self.imports.get(root)
+        if resolved_root is None:
+            return None
+        return f"{resolved_root}.{rest}" if rest else resolved_root
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        for ancestor in ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for ancestor in ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def is_disabled(self, finding: Finding) -> bool:
+        ids = self.disabled.get(finding.line)
+        return bool(ids) and (finding.rule in ids or "all" in ids)
+
+
+class Rule(abc.ABC):
+    """A pluggable contract check.  Subclasses set ``id`` and ``title``."""
+
+    id: str = ""
+    title: str = ""
+
+    @abc.abstractmethod
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+
+    def finding(self, module: LintModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            rule=self.id,
+            message=message,
+        )
+
+
+def iter_python_files(
+    paths: Iterable[str | Path], exclude: Iterable[str | Path] = ()
+) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    ``exclude`` entries are path prefixes (files or directories) pruned
+    from the expansion — e.g. the deliberately-bad lint fixture corpus.
+    """
+    pruned = [Path(entry) for entry in exclude]
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = path.rglob("*.py")
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            if any(prefix == candidate or prefix in candidate.parents for prefix in pruned):
+                continue
+            seen.add(candidate)
+    return sorted(seen)
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint a source string as if it lived at ``path`` (drives hot-path R1)."""
+    if rules is None:
+        from .rules import DEFAULT_RULES
+
+        rules = DEFAULT_RULES
+    module = LintModule(path, source)
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check(module)
+        if not module.is_disabled(finding)
+    ]
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    source = Path(path).read_text()
+    try:
+        return lint_source(source, path=path, rules=rules)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=str(path),
+                line=error.lineno or 1,
+                rule="parse",
+                message=f"could not parse file: {error.msg}",
+            )
+        ]
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    exclude: Iterable[str | Path] = (),
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` and return sorted findings."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, exclude=exclude):
+        findings.extend(lint_file(path, rules=rules))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

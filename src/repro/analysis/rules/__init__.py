@@ -1,0 +1,53 @@
+"""The pluggable rule registry for ``repro-lint``.
+
+Each rule audits one of the contracts described in ``docs/contracts.md``:
+
+========  ============================================================
+``R1``    Determinism: hot paths draw randomness only from threaded,
+          seeded generators — never global RNG state or wall clocks.
+``R2``    Shared-memory lifecycle: every segment allocation is
+          dominated by ``close()``/``unlink()`` on all paths.
+``R3``    Compiled-objective contract: ``partial``/``merge``/
+          ``shard_fields`` travel together and order-sensitive FP
+          reductions stay out of ``partial``.
+``R4``    Worker-boundary pickling: process pools receive module-level
+          functions and plain descriptors, never closures or tables.
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..lint import Rule
+from .contract import CompiledContractRule
+from .determinism import DeterminismRule
+from .pickling import WorkerPicklingRule
+from .shm import ShmLifecycleRule
+
+__all__ = [
+    "CompiledContractRule",
+    "DEFAULT_RULES",
+    "DeterminismRule",
+    "ShmLifecycleRule",
+    "WorkerPicklingRule",
+    "rules_by_id",
+]
+
+#: All rules, in rule-id order; instances are stateless and reusable.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    DeterminismRule(),
+    ShmLifecycleRule(),
+    CompiledContractRule(),
+    WorkerPicklingRule(),
+)
+
+
+def rules_by_id(ids: Iterable[str]) -> Sequence[Rule]:
+    """Resolve ``("R1", "R3")`` into rule instances; unknown ids raise."""
+    wanted = list(ids)
+    known = {rule.id: rule for rule in DEFAULT_RULES}
+    missing = [rule_id for rule_id in wanted if rule_id not in known]
+    if missing:
+        raise KeyError(f"unknown repro-lint rule ids: {missing}; known: {sorted(known)}")
+    return tuple(known[rule_id] for rule_id in wanted)

@@ -1,0 +1,97 @@
+"""R1 — determinism: hot paths must not touch global RNG state or clocks.
+
+The reproduction's headline guarantee is that a ``(seed, config)`` pair
+fully determines every fit.  That only holds if the hot paths (``core/``,
+``matching/``, ``ranking/``) draw randomness exclusively from generators
+threaded in by the caller (``np.random.Generator`` / ``SampleStream``) and
+never consult process-global state: the legacy ``np.random.*`` singleton,
+the stdlib ``random`` module, or wall clocks.  ``np.random.default_rng()``
+*with a seed argument* is the sanctioned way to mint a generator;
+an argument-less call silently pulls OS entropy and is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, LintModule, Rule
+
+__all__ = ["DeterminismRule"]
+
+#: numpy.random attributes that construct generators rather than draw from
+#: the global singleton; calling these (seeded) is the sanctioned pattern.
+_GENERATOR_FACTORIES = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: Wall-clock reads that make output depend on when the code ran.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class DeterminismRule(Rule):
+    """Flag hidden-global randomness and wall-clock reads in hot paths."""
+
+    id = "R1"
+    title = "determinism: seeded generators only in hot paths"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        if not module.is_hot_path:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call(node.func)
+            if name is None:
+                continue
+            if name.startswith("numpy.random."):
+                terminal = name.rsplit(".", 1)[1]
+                if terminal == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            module,
+                            node,
+                            "unseeded np.random.default_rng() pulls OS entropy; "
+                            "thread a seeded Generator/SampleStream instead",
+                        )
+                elif terminal not in _GENERATOR_FACTORIES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"np.random.{terminal}() draws from the process-global "
+                        "RNG singleton; use a threaded, seeded Generator",
+                    )
+            elif name == "random" or name.startswith("random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"stdlib {name}() draws from hidden global state; "
+                    "use a seeded np.random.Generator",
+                )
+            elif name in _WALL_CLOCK:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock call {name}() makes hot-path output depend on "
+                    "when it ran; keep timing outside hot paths "
+                    "(time.perf_counter is fine for durations)",
+                )

@@ -1,0 +1,160 @@
+"""Runtime shared-memory leak sanitizer (the dynamic half of R2).
+
+``repro-lint``'s R2 audits lifecycle statically, but a leak ultimately
+manifests at runtime: a ``psm_*`` file left in ``/dev/shm``.  The stdlib
+``resource_tracker`` only *warns* about those at interpreter exit — long
+after the offending test passed.  :class:`ShmSanitizer` turns the warning
+into a hard, attributable error:
+
+* it snapshots the OS-level segment directory (``/dev/shm`` on Linux)
+  before and after the guarded region, so leaks are caught **regardless of
+  which process created the segment** — including pool workers and
+  deliberate subprocess leaks;
+* it additionally instruments ``SharedMemory.__init__``/``unlink`` in this
+  process to attribute leaks created locally.
+
+The test suite enables it for every test through an autouse fixture in
+``tests/conftest.py``::
+
+    sanitizer = ShmSanitizer()
+    sanitizer.start()
+    ...
+    leaked = sanitizer.stop()   # tuple of leaked segment names, () if clean
+
+Only stdlib imports on purpose: the sanitizer must be importable wherever
+``multiprocessing.shared_memory`` is.
+"""
+
+from __future__ import annotations
+
+import functools
+from multiprocessing import shared_memory
+from pathlib import Path
+
+__all__ = ["SHM_DIR", "ShmSanitizer"]
+
+#: Where POSIX shared memory appears as files; ``None``-like (missing) on
+#: platforms without a world-visible segment directory.
+SHM_DIR = Path("/dev/shm")
+
+#: Python names its anonymous segments ``psm_<token>`` (POSIX) or
+#: ``wnsm_<token>`` (Windows); we only ever judge those, so unrelated
+#: tenants of /dev/shm (semaphores, other software) never false-positive.
+_SEGMENT_PREFIXES = ("psm_", "wnsm_")
+
+#: Sanitizers currently between start() and stop(); instrumentation events
+#: are broadcast to all of them.
+_ACTIVE: list["ShmSanitizer"] = []
+
+_ORIGINALS: dict[str, object] = {}
+
+
+def _segment_names() -> frozenset[str] | None:
+    """Names of OS-visible Python shm segments, or ``None`` if unknowable."""
+    if not SHM_DIR.is_dir():
+        return None
+    try:
+        return frozenset(
+            entry.name
+            for entry in SHM_DIR.iterdir()
+            if entry.name.startswith(_SEGMENT_PREFIXES)
+        )
+    except OSError:
+        return None
+
+
+def _install_instrumentation() -> None:
+    if _ORIGINALS:
+        return
+    original_init = shared_memory.SharedMemory.__init__
+    original_unlink = shared_memory.SharedMemory.unlink
+    _ORIGINALS["__init__"] = original_init
+    _ORIGINALS["unlink"] = original_unlink
+
+    @functools.wraps(original_init)
+    def tracked_init(self, *args, **kwargs):  # type: ignore[no-untyped-def]
+        original_init(self, *args, **kwargs)
+        create = kwargs.get("create", args[1] if len(args) > 1 else False)
+        if create:
+            for sanitizer in _ACTIVE:
+                sanitizer._record_create(self.name)
+
+    @functools.wraps(original_unlink)
+    def tracked_unlink(self):  # type: ignore[no-untyped-def]
+        for sanitizer in _ACTIVE:
+            sanitizer._record_unlink(self.name)
+        return original_unlink(self)
+
+    shared_memory.SharedMemory.__init__ = tracked_init  # type: ignore[method-assign]
+    shared_memory.SharedMemory.unlink = tracked_unlink  # type: ignore[method-assign]
+
+
+def _remove_instrumentation() -> None:
+    if not _ORIGINALS:
+        return
+    shared_memory.SharedMemory.__init__ = _ORIGINALS.pop("__init__")  # type: ignore[method-assign]
+    shared_memory.SharedMemory.unlink = _ORIGINALS.pop("unlink")  # type: ignore[method-assign]
+
+
+class ShmSanitizer:
+    """Detect shared-memory segments leaked inside a guarded region."""
+
+    def __init__(self) -> None:
+        self._baseline: frozenset[str] | None = None
+        self._created: dict[str, bool] = {}  # name -> unlinked?
+        self._running = False
+
+    # -- instrumentation callbacks -------------------------------------
+    def _record_create(self, name: str) -> None:
+        self._created[name] = False
+
+    def _record_unlink(self, name: str) -> None:
+        if name in self._created:
+            self._created[name] = True
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self._running
+
+    @property
+    def filesystem_tracking(self) -> bool:
+        """Whether OS-level (cross-process) tracking is available here."""
+        return _segment_names() is not None
+
+    def start(self) -> "ShmSanitizer":
+        if self._running:
+            raise RuntimeError("ShmSanitizer already started")
+        self._baseline = _segment_names()
+        self._created.clear()
+        _install_instrumentation()
+        _ACTIVE.append(self)
+        self._running = True
+        return self
+
+    def stop(self) -> tuple[str, ...]:
+        """End the guarded region and return leaked segment names."""
+        if not self._running:
+            raise RuntimeError("ShmSanitizer not started")
+        self._running = False
+        _ACTIVE.remove(self)
+        if not _ACTIVE:
+            _remove_instrumentation()
+        current = _segment_names()
+        if current is not None and self._baseline is not None:
+            # Cross-process truth: anything new and still present leaked —
+            # whichever process created it.
+            return tuple(sorted(current - self._baseline))
+        # Fallback (no /dev/shm): segments this process created and never
+        # unlinked.  close() alone is not enough — the backing segment
+        # survives until unlink().
+        return tuple(
+            sorted(name for name, unlinked in self._created.items() if not unlinked)
+        )
+
+    # -- context-manager sugar ------------------------------------------
+    def __enter__(self) -> "ShmSanitizer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.leaked = self.stop()

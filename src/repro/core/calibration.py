@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from ..metrics.ndcg import ndcg_at_k
 from ..ranking import ScoreFunction

@@ -32,7 +32,7 @@ pre-normalized matrix is bitwise identical to normalizing each sample.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 

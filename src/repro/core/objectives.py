@@ -124,6 +124,39 @@ class CompiledObjective(abc.ABC):
 
     __slots__ = ()
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Enforce the map-reduce contract at class-definition time.
+
+        The same pairing rules repro-lint's R3 checks statically: a class
+        that overrides :meth:`partial` must also override :meth:`merge`
+        and :meth:`shard_fields` (a partial that nothing can reduce — or
+        that silently falls back to whole-table pickling — is a latent
+        bug, not an option), and overriding :meth:`export_state` requires
+        :meth:`from_state` so workers can rebuild the state they receive.
+        Failing here, when the subclass is *defined*, beats failing on the
+        first sharded fit months later.
+        """
+        super().__init_subclass__(**kwargs)
+
+        def overrides(name: str) -> bool:
+            ours = getattr(cls, name, None)
+            base = getattr(CompiledObjective, name)
+            # Compare underlying functions so classmethods participate.
+            return getattr(ours, "__func__", ours) is not getattr(base, "__func__", base)
+
+        if overrides("partial"):
+            missing = [name for name in ("merge", "shard_fields") if not overrides(name)]
+            if missing:
+                raise TypeError(
+                    f"{cls.__name__} overrides partial() without {' and '.join(missing)}: "
+                    "the map-reduce contract requires partial/merge/shard_fields together"
+                )
+        if overrides("export_state") and not overrides("from_state"):
+            raise TypeError(
+                f"{cls.__name__} overrides export_state() without from_state(): "
+                "workers cannot rebuild the compiled state they are handed"
+            )
+
     @abc.abstractmethod
     def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
         """Per-attribute fairness signal for the rows at ``indices``."""

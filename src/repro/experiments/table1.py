@@ -8,7 +8,6 @@ step), and the resulting disparities on both cohorts.
 
 from __future__ import annotations
 
-from ..core import DCAConfig
 from .harness import ExperimentResult
 from .setting import DEFAULT_K, SchoolSetting
 

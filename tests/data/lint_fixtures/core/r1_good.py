@@ -1,0 +1,13 @@
+"""Known-good R1 fixture: randomness threaded through seeded generators."""
+
+import time
+
+import numpy as np
+
+
+def draw_sample(values, rng: np.random.Generator):
+    start = time.perf_counter()
+    seeded = np.random.default_rng(1234)
+    pick = rng.choice(len(values), size=2, replace=False)
+    elapsed = time.perf_counter() - start
+    return pick, seeded, elapsed

@@ -1,0 +1,32 @@
+"""Known-bad R2 fixture: shared-memory allocations that can escape."""
+
+from multiprocessing import shared_memory
+
+from repro.core.parallel import SharedColumnStore
+from repro.datasets import generate_school_cohort
+
+
+def leak_segment():
+    segment = shared_memory.SharedMemory(create=True, size=64)  # LINT-EXPECT: R2
+    return segment.name
+
+
+def close_without_finally(num_rows):
+    store = SharedColumnStore(num_rows, ("a",))  # LINT-EXPECT: R2
+    table = store.table()
+    store.close()  # leaks if table() raises above
+    return table
+
+
+def bare_allocation():
+    shared_memory.SharedMemory(create=True, size=64)  # LINT-EXPECT: R2
+
+
+def shared_cohort_dropped(config):
+    cohort = generate_school_cohort("leak", config, seed=1, shared=True)  # LINT-EXPECT: R2
+    return cohort.table.num_rows
+
+
+class NoCleanupOwner:
+    def __init__(self, num_rows):
+        self._store = SharedColumnStore(num_rows, ("a",))  # LINT-EXPECT: R2

@@ -1,0 +1,60 @@
+"""Known-good R2 fixture: every accepted cleanup shape, one per function."""
+
+import contextlib
+from multiprocessing import shared_memory
+
+from repro.core.parallel import SharedColumnStore, SharedPopulationPlane
+
+
+def with_block(num_rows):
+    with SharedColumnStore(num_rows, ("a",)) as store:
+        return store.table().num_rows
+
+
+def with_closing(num_rows):
+    with contextlib.closing(SharedColumnStore(num_rows, ("a",))) as store:
+        return store.table().num_rows
+
+
+def try_finally(num_rows):
+    store = SharedColumnStore(num_rows, ("a",))
+    try:
+        return store.table().num_rows
+    finally:
+        store.close()
+
+
+def cleanup_on_error(num_rows):
+    plane = SharedPopulationPlane.allocate({"x": ("<f8", (num_rows,))})
+    try:
+        plane.view("x")[...] = 0.0
+    except BaseException:
+        plane.close()
+        raise
+    return plane
+
+
+def ownership_transfer(num_rows):
+    return SharedColumnStore(num_rows, ("a",))
+
+
+def attach_and_hand_back(name):
+    segment = shared_memory.SharedMemory(name=name)
+    return segment
+
+
+def exit_stack(num_rows):
+    with contextlib.ExitStack() as stack:
+        store = SharedColumnStore(num_rows, ("a",))
+        stack.callback(store.close)
+        other = SharedColumnStore(num_rows, ("b",))
+        stack.enter_context(other)
+        return store.table().num_rows + other.table().num_rows
+
+
+class OwnsSegment:
+    def __init__(self, num_rows):
+        self._store = SharedColumnStore(num_rows, ("a",))
+
+    def close(self):
+        self._store.close()

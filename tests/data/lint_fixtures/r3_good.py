@@ -1,0 +1,25 @@
+"""Known-good R3 fixture: partial gathers, merge owns every reduction."""
+
+import numpy as np
+
+
+class WellFormedCompiled:
+    def shard_fields(self):
+        return {"matrix": self._matrix}
+
+    def partial(self, indices, scores, k):
+        # Pure gathers: bit-exact regardless of shard order.
+        return {"scores": scores, "rows": self._matrix[indices]}
+
+    def merge(self, accumulators, k):
+        rows = np.concatenate([acc["rows"] for acc in accumulators])
+        return float(np.sum(rows) / max(k, 1))
+
+    def export_state(self):
+        return {"matrix": self._matrix}, {}
+
+    @classmethod
+    def from_state(cls, arrays, metadata):
+        instance = cls.__new__(cls)
+        instance._matrix = arrays["matrix"]
+        return instance

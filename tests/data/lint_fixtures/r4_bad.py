@@ -1,0 +1,38 @@
+"""Known-bad R4 fixture: unpicklable or heavyweight pool submissions."""
+
+import concurrent.futures
+import multiprocessing
+
+
+def _echo(value):
+    return value
+
+
+def fan_out(jobs, table):
+    def gather(job):
+        return table.take(job)
+
+    with concurrent.futures.ProcessPoolExecutor() as pool:
+        first = pool.submit(lambda job: job + 1, jobs[0])  # LINT-EXPECT: R4
+        rest = list(pool.map(gather, jobs))  # LINT-EXPECT: R4
+        heavy = pool.submit(_echo, table)  # LINT-EXPECT: R4
+    return first, rest, heavy
+
+
+def bad_initializer(jobs):
+    def setup():
+        pass
+
+    with concurrent.futures.ProcessPoolExecutor(initializer=setup) as pool:  # LINT-EXPECT: R4
+        return list(pool.map(_echo, jobs))
+
+
+class SelfSubmitter:
+    def __init__(self):
+        self._pool = multiprocessing.Pool(2)
+
+    def run(self, jobs):
+        return self._pool.map(self._step, jobs)  # LINT-EXPECT: R4
+
+    def _step(self, job):
+        return job

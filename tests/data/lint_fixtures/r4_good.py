@@ -1,0 +1,24 @@
+"""Known-good R4 fixture: module-level workers, descriptor payloads."""
+
+import concurrent.futures
+
+
+def _work(descriptor):
+    return descriptor * 2
+
+
+def _init_worker(payload):
+    del payload
+
+
+def fan_out(descriptors):
+    with concurrent.futures.ProcessPoolExecutor(
+        initializer=_init_worker, initargs=(None,)
+    ) as pool:
+        return list(pool.map(_work, descriptors))
+
+
+def threads_may_close_over_anything(table):
+    # Thread pools share the address space: closures over tables are legal.
+    with concurrent.futures.ThreadPoolExecutor() as pool:
+        return list(pool.map(lambda row: table.take(row), range(3)))

@@ -8,7 +8,6 @@ points keep working.  The quickstart is run exactly as shipped.
 from __future__ import annotations
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -13,7 +13,6 @@ import pytest
 
 from repro.datasets import clear_dataset_cache
 from repro.experiments import (
-    DEFAULT_K,
     EXPERIMENT_RUNNERS,
     CompasSetting,
     ExperimentResult,

@@ -8,7 +8,6 @@ import pytest
 from repro.baselines import quota_selection
 from repro.core import (
     DCA,
-    DCAConfig,
     DisparityCalculator,
     LogDiscountedDisparityObjective,
 )
