@@ -29,6 +29,7 @@ import time
 
 import numpy as np
 
+from _bench_record import record_bench
 from repro.matching import deferred_acceptance, generate_student_preferences
 
 #: Cohort size for the matching benchmark (the paper's district scale).
@@ -75,6 +76,21 @@ def test_heap_engine_speedup_and_equivalence_at_district_scale():
     reference_seconds, reference_match = _run("reference", instance)
 
     _assert_identical(heap_match, reference_match)
+    record_bench(
+        "matching",
+        metrics={
+            "heap_vs_reference": {
+                "heap_seconds": round(heap_seconds, 4),
+                "reference_seconds": round(reference_seconds, 4),
+                "speedup": round(reference_seconds / heap_seconds, 3),
+            }
+        },
+        context={
+            "heap_vs_reference_students": MATCH_STUDENTS,
+            "num_schools": NUM_SCHOOLS,
+            "list_length": LIST_LENGTH,
+        },
+    )
     assert heap_seconds * 3.0 < reference_seconds, (
         f"heap engine {heap_seconds:.2f}s vs reference {reference_seconds:.2f}s "
         f"({reference_seconds / heap_seconds:.1f}x) — expected at least 3x"
@@ -87,6 +103,21 @@ def test_vector_engine_speedup_and_equivalence_over_heap():
     heap_seconds, heap_match = _run("heap", instance)
 
     _assert_identical(vector_match, heap_match)
+    record_bench(
+        "matching",
+        metrics={
+            "vector_vs_heap": {
+                "vector_seconds": round(vector_seconds, 4),
+                "heap_seconds": round(heap_seconds, 4),
+                "speedup": round(heap_seconds / vector_seconds, 3),
+            }
+        },
+        context={
+            "vector_vs_heap_students": VECTOR_STUDENTS,
+            "num_schools": NUM_SCHOOLS,
+            "list_length": LIST_LENGTH,
+        },
+    )
     assert vector_seconds * 2.0 < heap_seconds, (
         f"vector engine {vector_seconds:.2f}s vs heap {heap_seconds:.2f}s "
         f"({heap_seconds / vector_seconds:.1f}x) — expected at least 2x"

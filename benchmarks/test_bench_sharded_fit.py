@@ -29,6 +29,7 @@ import time
 import numpy as np
 import pytest
 
+from _bench_record import record_bench
 from repro.core import DCA, DCAConfig
 from repro.datasets import (
     SCHOOL_FAIRNESS_ATTRIBUTES,
@@ -107,6 +108,28 @@ def test_sharded_fit_bitwise_identical_and_faster(dca, cohort):
     workers = SHARD_WORKERS or min(_usable_cores(), 4)
     sharded_seconds, sharded = _fit(dca, cohort.table, row_workers=workers)
     _assert_bitwise_equal(serial, sharded)
+
+    def _record(serial_s: float, sharded_s: float) -> None:
+        record_bench(
+            "sharded_fit",
+            metrics={
+                "serial_seconds": round(serial_s, 4),
+                "sharded_seconds": round(sharded_s, 4),
+                "speedup": round(serial_s / sharded_s, 3),
+            },
+            context={
+                "rows": cohort.table.num_rows,
+                "sample_size": dca.config.sample_size,
+                "steps": len(dca.config.learning_rates) * dca.config.iterations
+                + dca.config.refinement_iterations,
+                "row_workers": workers,
+                "usable_cores": _usable_cores(),
+            },
+        )
+
+    # First-measurement record, so single-core runs still leave a trajectory
+    # point (its context carries usable_cores, which explains a ~1x speedup).
+    _record(serial_seconds, sharded_seconds)
     if _usable_cores() < 2:
         pytest.skip("speedup assertion needs at least two usable cores")
     # Best-of-two per variant keeps the ratio stable on noisy CI runners.
@@ -114,6 +137,7 @@ def test_sharded_fit_bitwise_identical_and_faster(dca, cohort):
     sharded_seconds = min(
         sharded_seconds, _fit(dca, cohort.table, row_workers=workers)[0]
     )
+    _record(serial_seconds, sharded_seconds)
     assert sharded_seconds * 1.5 <= serial_seconds, (
         f"row-sharded fit ({sharded_seconds:.2f}s on {workers} workers) should be "
         f">= 1.5x faster than serial ({serial_seconds:.2f}s) on "

@@ -3,14 +3,21 @@
 Two complementary halves:
 
 * **repro-lint** (this module's public API and ``python -m repro.analysis``):
-  an ``ast``-based auditor enforcing the four repo contracts — R1
+  an ``ast``-based auditor enforcing the six repo contracts — R1
   determinism, R2 shared-memory lifecycle, R3 compiled-objective
-  map-reduce purity, R4 worker-boundary pickling.  See
+  map-reduce purity, R4 worker-boundary pickling, and the interprocedural
+  pair R5 rng-lineage / R6 shard-disjointness, which follow the project
+  call graph (:mod:`repro.analysis.callgraph`) across files.  Findings can
+  render as text, GitHub annotations, or SARIF, and can be suppressed
+  against a recorded baseline (:mod:`repro.analysis.baseline`).  See
   ``docs/contracts.md`` for the contracts and the
   ``# repro-lint: disable=RULE`` escape hatch.
-* **:mod:`repro.analysis.shm_sanitizer`**: a runtime leak detector that
-  snapshots shared-memory segments around each test and fails the suite on
-  anything left behind — including segments leaked by *subprocesses*.
+* **runtime sanitizers**: :mod:`repro.analysis.shm_sanitizer` snapshots
+  shared-memory segments around each test and fails the suite on anything
+  left behind — including segments leaked by *subprocesses* — and
+  :mod:`repro.analysis.race_sanitizer` (opt-in via
+  ``REPRO_RACE_SANITIZER=1``) proves every row-sharded fit step's worker
+  writes disjoint and covering, settling what R6 cannot decide statically.
 
 The lint half is intentionally dependency-free (stdlib ``ast`` only) so CI
 can audit the tree without installing numpy first.
@@ -18,13 +25,18 @@ can audit the tree without installing numpy first.
 
 from __future__ import annotations
 
+from .baseline import filter_baseline, load_baseline, write_baseline
+from .callgraph import CallGraph, FunctionInfo, module_name_for_path
 from .lint import (
     Finding,
     HOT_PATH_DIRS,
     LintModule,
+    LintProject,
+    ProjectRule,
     Rule,
     iter_python_files,
     lint_file,
+    lint_project,
     lint_source,
     run_lint,
 )
@@ -32,24 +44,39 @@ from .rules import (
     DEFAULT_RULES,
     CompiledContractRule,
     DeterminismRule,
+    RngLineageRule,
+    ShardDisjointRule,
     ShmLifecycleRule,
     WorkerPicklingRule,
     rules_by_id,
 )
+from .sarif import to_sarif
 
 __all__ = [
+    "CallGraph",
     "CompiledContractRule",
     "DEFAULT_RULES",
     "DeterminismRule",
     "Finding",
+    "FunctionInfo",
     "HOT_PATH_DIRS",
     "LintModule",
+    "LintProject",
+    "ProjectRule",
+    "RngLineageRule",
     "Rule",
+    "ShardDisjointRule",
     "ShmLifecycleRule",
     "WorkerPicklingRule",
+    "filter_baseline",
     "iter_python_files",
     "lint_file",
+    "lint_project",
     "lint_source",
+    "load_baseline",
+    "module_name_for_path",
     "rules_by_id",
     "run_lint",
+    "to_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,55 @@
+"""Finding baselines: land strict rules without grandfathering noise inline.
+
+A baseline file records the findings present at some commit; later runs
+with ``--baseline FILE`` suppress exactly those, so only *new* violations
+fail the build.  Fingerprints are ``(path, rule, message)`` — the line
+number is deliberately excluded so unrelated edits above a grandfathered
+finding do not resurrect it.  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .lint import Finding
+
+__all__ = ["filter_baseline", "fingerprint", "load_baseline", "write_baseline"]
+
+_SCHEMA = 1
+
+
+def fingerprint(finding: Finding) -> tuple[str, str, str]:
+    """Line-independent identity of a finding."""
+    return (finding.path, finding.rule, finding.message)
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> None:
+    """Record ``findings`` as the suppression baseline at ``path``."""
+    entries = [
+        {"path": file, "rule": rule, "message": message}
+        for file, rule, message in sorted({fingerprint(f) for f in findings})
+    ]
+    payload = {"schema": _SCHEMA, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """The fingerprints recorded in a baseline file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != _SCHEMA:
+        raise ValueError(
+            f"unsupported baseline schema {payload.get('schema')!r} in {path}"
+        )
+    return {
+        (entry["path"], entry["rule"], entry["message"])
+        for entry in payload["findings"]
+    }
+
+
+def filter_baseline(
+    findings: Sequence[Finding], baseline: set[tuple[str, str, str]]
+) -> list[Finding]:
+    """Findings not covered by ``baseline`` (the ones that fail the build)."""
+    return [finding for finding in findings if fingerprint(finding) not in baseline]

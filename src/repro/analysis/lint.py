@@ -20,17 +20,20 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 __all__ = [
     "Finding",
     "HOT_PATH_DIRS",
     "LintModule",
+    "LintProject",
+    "ProjectRule",
     "Rule",
     "ancestors",
     "dotted_name",
     "iter_python_files",
     "lint_file",
+    "lint_project",
     "lint_source",
     "run_lint",
 ]
@@ -40,7 +43,10 @@ __all__ = [
 _DISABLE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 #: Directories whose files count as determinism-critical hot paths (R1).
-HOT_PATH_DIRS = frozenset({"core", "matching", "ranking"})
+#: ``baselines`` and ``experiments`` joined in PR 7: their outputs feed the
+#: paper's comparison tables, so hidden-global draws there corrupt results
+#: just as silently as in the optimizer itself.
+HOT_PATH_DIRS = frozenset({"core", "matching", "ranking", "baselines", "experiments"})
 
 
 @dataclass(frozen=True)
@@ -100,9 +106,12 @@ def _build_import_table(tree: ast.Module) -> dict[str, str]:
                     # ``import a.b`` binds the root name ``a`` only.
                     root = alias.name.split(".")[0]
                     table[root] = root
-        elif isinstance(node, ast.ImportFrom) and node.module:
+        elif isinstance(node, ast.ImportFrom):
+            # ``from . import bonus as b`` has no module; the bare name is
+            # still a usable suffix for the call graph's dotted-suffix join.
+            prefix = f"{node.module}." if node.module else ""
             for alias in node.names:
-                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+                table[alias.asname or alias.name] = f"{prefix}{alias.name}"
     return table
 
 
@@ -168,11 +177,44 @@ class LintModule:
         return bool(ids) and (finding.rule in ids or "all" in ids)
 
 
+class LintProject:
+    """Every parsed module of one lint run, plus the lazily built call graph.
+
+    Module-scoped rules (R1–R4) see one :class:`LintModule` at a time;
+    project-scoped rules (R5, R6) see the whole project so they can follow
+    calls across files.  A single-file lint (``lint_source``) is simply a
+    one-module project, which is what lets the interprocedural rules run on
+    the fixture corpus unchanged.
+    """
+
+    def __init__(self, modules: Sequence[LintModule]) -> None:
+        self.modules = list(modules)
+        self.by_path = {module.path: module for module in self.modules}
+        self._callgraph = None
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "LintProject":
+        """Build a project straight from ``{path: source}`` (test-friendly)."""
+        return cls([LintModule(path, source) for path, source in sources.items()])
+
+    @property
+    def callgraph(self):
+        """The project call graph, built on first use and cached."""
+        if self._callgraph is None:
+            from .callgraph import CallGraph  # deferred: callgraph imports lint
+
+            self._callgraph = CallGraph(self.modules)
+        return self._callgraph
+
+
 class Rule(abc.ABC):
     """A pluggable contract check.  Subclasses set ``id`` and ``title``."""
 
     id: str = ""
     title: str = ""
+    #: ``"module"`` rules see one file at a time through :meth:`check`;
+    #: ``"project"`` rules see every file at once through ``check_project``.
+    scope: str = "module"
 
     @abc.abstractmethod
     def check(self, module: LintModule) -> Iterator[Finding]:
@@ -185,6 +227,19 @@ class Rule(abc.ABC):
             rule=self.id,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that audits the whole project at once (interprocedural)."""
+
+    scope = "project"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError("project-scoped rules run through check_project")
+
+    @abc.abstractmethod
+    def check_project(self, project: LintProject) -> Iterator[Finding]:
+        """Yield findings across the project's modules."""
 
 
 def iter_python_files(
@@ -212,24 +267,45 @@ def iter_python_files(
     return sorted(seen)
 
 
+def _default_rules() -> Sequence[Rule]:
+    from .rules import DEFAULT_RULES
+
+    return DEFAULT_RULES
+
+
+def lint_project(project: LintProject, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Run module- and project-scoped rules over a parsed project."""
+    if rules is None:
+        rules = _default_rules()
+    module_rules = [rule for rule in rules if rule.scope == "module"]
+    project_rules = [rule for rule in rules if rule.scope == "project"]
+    findings: list[Finding] = []
+    for module in project.modules:
+        for rule in module_rules:
+            findings.extend(
+                finding
+                for finding in rule.check(module)
+                if not module.is_disabled(finding)
+            )
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            owner = project.by_path.get(finding.path)
+            if owner is None or not owner.is_disabled(finding):
+                findings.append(finding)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
 def lint_source(
     source: str,
     path: str | Path = "<string>",
     rules: Sequence[Rule] | None = None,
 ) -> list[Finding]:
-    """Lint a source string as if it lived at ``path`` (drives hot-path R1)."""
-    if rules is None:
-        from .rules import DEFAULT_RULES
+    """Lint a source string as if it lived at ``path`` (drives hot-path R1).
 
-        rules = DEFAULT_RULES
-    module = LintModule(path, source)
-    findings = [
-        finding
-        for rule in rules
-        for finding in rule.check(module)
-        if not module.is_disabled(finding)
-    ]
-    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    The string forms a one-module project, so the interprocedural rules see
+    whatever call graph the single file defines.
+    """
+    return lint_project(LintProject([LintModule(path, source)]), rules=rules)
 
 
 def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
@@ -237,14 +313,16 @@ def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Fin
     try:
         return lint_source(source, path=path, rules=rules)
     except SyntaxError as error:
-        return [
-            Finding(
-                path=str(path),
-                line=error.lineno or 1,
-                rule="parse",
-                message=f"could not parse file: {error.msg}",
-            )
-        ]
+        return [_parse_finding(path, error)]
+
+
+def _parse_finding(path: str | Path, error: SyntaxError) -> Finding:
+    return Finding(
+        path=str(path),
+        line=error.lineno or 1,
+        rule="parse",
+        message=f"could not parse file: {error.msg}",
+    )
 
 
 def run_lint(
@@ -252,8 +330,17 @@ def run_lint(
     rules: Sequence[Rule] | None = None,
     exclude: Iterable[str | Path] = (),
 ) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths`` and return sorted findings."""
+    """Lint every ``.py`` file under ``paths`` and return sorted findings.
+
+    All parseable files form **one** project, so the interprocedural rules
+    (R5/R6) follow calls across every file in the run.
+    """
     findings: list[Finding] = []
+    modules: list[LintModule] = []
     for path in iter_python_files(paths, exclude=exclude):
-        findings.extend(lint_file(path, rules=rules))
+        try:
+            modules.append(LintModule(path, Path(path).read_text()))
+        except SyntaxError as error:
+            findings.append(_parse_finding(path, error))
+    findings.extend(lint_project(LintProject(modules), rules=rules))
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

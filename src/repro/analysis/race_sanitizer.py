@@ -1,0 +1,148 @@
+"""Runtime write-race sanitizer for the row-sharded fit plane.
+
+The static half (repro-lint R6) proves every worker write is *indexed
+through the worker's own shard descriptor*.  What it cannot prove is that
+the descriptors themselves are numerically disjoint — a shard widened by a
+single row produces writes that are perfectly descriptor-indexed and still
+race.  This module is the runtime counterpart: an opt-in write ledger that
+turns any overlap, and any parent read of a region no worker wrote, into a
+hard :class:`WriteRaceError` at the exact step it happens.
+
+Design
+------
+
+When ``REPRO_RACE_SANITIZER=1`` is set, :class:`~repro.core.parallel.
+ShardedFitPlane` allocates two extra arrays *inside the plane's own
+shared-memory segment*:
+
+* ``sanitizer:positions`` — ``(num_shards, sample_size) int64``: each
+  worker's scatter positions for the current step;
+* ``sanitizer:counts`` — ``(num_shards,) int64``: how many positions each
+  worker logged (``-1`` = shard not served this step).
+
+Each worker writes **only its own row** of the ledger, so the ledger itself
+is race-free by construction.  After every step the parent calls
+:func:`verify_step` *before* consuming the scratch: a position covered by
+two shards raises (overlap), as does a sample position covered by none
+(the parent would read garbage).
+
+The knob is read once per plane construction, so enabling it mid-suite via
+``monkeypatch.setenv`` affects exactly the planes built afterwards.  The
+ledger adds one extra sample-sized scatter per worker per step — cheap
+next to the objective math, but not free, hence opt-in.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "ENV_FLAG",
+    "WriteRaceError",
+    "enabled",
+    "ledger_specs",
+    "record_shard_write",
+    "reset_step",
+    "verify_step",
+]
+
+#: Environment variable arming the sanitizer (``"1"`` = on).
+ENV_FLAG = "REPRO_RACE_SANITIZER"
+
+#: Ledger sentinel: a count of -1 means "this shard logged nothing".
+_UNSERVED = -1
+
+
+class WriteRaceError(RuntimeError):
+    """Two shards wrote one sample position, or a position went unwritten."""
+
+
+def enabled() -> bool:
+    """Whether the environment arms the sanitizer for new planes."""
+    return os.environ.get(ENV_FLAG, "") == "1"
+
+
+def ledger_specs(
+    num_shards: int, sample_size: int
+) -> dict[str, tuple[str, tuple[int, ...]]]:
+    """Plane specs for the ledger arrays (same format as the scratch specs)."""
+    return {
+        "sanitizer:positions": ("<i8", (num_shards, sample_size)),
+        "sanitizer:counts": ("<i8", (num_shards,)),
+    }
+
+
+def reset_step(counts: np.ndarray) -> None:
+    """Parent-side: mark every shard unserved before dispatching a step."""
+    counts[...] = _UNSERVED
+
+
+def record_shard_write(
+    positions_log: np.ndarray,
+    counts: np.ndarray,
+    shard: int,
+    positions: np.ndarray,
+) -> None:
+    """Worker-side: log this shard's scatter positions for the current step.
+
+    Writes touch only row ``shard`` of each ledger array, so concurrent
+    workers never contend.
+    """
+    count = int(positions.shape[0])
+    positions_log[shard, :count] = positions
+    counts[shard] = count
+
+
+def verify_step(
+    positions_log: np.ndarray,
+    counts: np.ndarray,
+    num_sampled: int,
+    bounds: Mapping[int, tuple[int, int]] | tuple[tuple[int, int], ...],
+) -> None:
+    """Parent-side: prove this step's writes were disjoint and complete.
+
+    Must run *before* the parent consumes the scratch: a failure means the
+    scratch contents are untrustworthy.  Raises :class:`WriteRaceError`
+    naming the offending shards and their row ranges.
+    """
+    num_shards = counts.shape[0]
+    coverage = np.zeros(num_sampled, dtype=np.int64)
+    for shard in range(num_shards):
+        count = int(counts[shard])
+        if count == _UNSERVED:
+            raise WriteRaceError(
+                f"shard {shard} {tuple(bounds[shard])} recorded no write ledger "
+                "for this step; its scratch contribution is unaccounted for"
+            )
+        positions = positions_log[shard, :count]
+        if count and (positions.min() < 0 or positions.max() >= num_sampled):
+            raise WriteRaceError(
+                f"shard {shard} {tuple(bounds[shard])} scattered outside the "
+                f"sample: positions span [{positions.min()}, {positions.max()}] "
+                f"but the step sampled {num_sampled} rows"
+            )
+        np.add.at(coverage, positions, 1)
+    overlapped = np.flatnonzero(coverage > 1)
+    if overlapped.size:
+        position = int(overlapped[0])
+        writers = [
+            shard
+            for shard in range(num_shards)
+            if position in positions_log[shard, : int(counts[shard])]
+        ]
+        raise WriteRaceError(
+            f"write race: sample position {position} was written by shards "
+            f"{writers} (row ranges {[tuple(bounds[s]) for s in writers]}); "
+            f"{overlapped.size} overlapping position(s) in total — shard "
+            "bounds are not disjoint"
+        )
+    missing = np.flatnonzero(coverage == 0)
+    if missing.size:
+        raise WriteRaceError(
+            f"parent would read {missing.size} sample position(s) no worker "
+            f"wrote (first: {int(missing[0])}); shard bounds do not cover "
+            "the population"
+        )

@@ -12,7 +12,14 @@ Each rule audits one of the contracts described in ``docs/contracts.md``:
           reductions stay out of ``partial``.
 ``R4``    Worker-boundary pickling: process pools receive module-level
           functions and plain descriptors, never closures or tables.
+``R5``    RNG lineage (interprocedural): every draw reachable from a fit
+          entry point traces to a seeded, parent-owned generator.
+``R6``    Shard disjointness (interprocedural): worker writes into shared
+          scratch are indexed through the worker's own shard descriptor.
 ========  ============================================================
+
+R1–R4 are module-scoped; R5/R6 are project-scoped and consult the call
+graph (:mod:`repro.analysis.callgraph`) built over the whole lint run.
 """
 
 from __future__ import annotations
@@ -23,12 +30,16 @@ from ..lint import Rule
 from .contract import CompiledContractRule
 from .determinism import DeterminismRule
 from .pickling import WorkerPicklingRule
+from .rng_lineage import RngLineageRule
+from .shard_disjoint import ShardDisjointRule
 from .shm import ShmLifecycleRule
 
 __all__ = [
     "CompiledContractRule",
     "DEFAULT_RULES",
     "DeterminismRule",
+    "RngLineageRule",
+    "ShardDisjointRule",
     "ShmLifecycleRule",
     "WorkerPicklingRule",
     "rules_by_id",
@@ -40,6 +51,8 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     ShmLifecycleRule(),
     CompiledContractRule(),
     WorkerPicklingRule(),
+    RngLineageRule(),
+    ShardDisjointRule(),
 )
 
 

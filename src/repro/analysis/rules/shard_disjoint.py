@@ -1,0 +1,259 @@
+"""R6 — shard-disjointness: worker writes go through the shard descriptor.
+
+The row-sharded fit's correctness argument is that every worker writes a
+*disjoint* slice of the shared scratch: each ``_shard_worker_step`` call
+filters the sample to its own ``(lo, hi)`` row range and scatters results at
+the matching sample positions.  An out-of-shard write silently corrupts a
+sibling's output and is the single hardest class of bug to reproduce.
+
+This rule runs a symbolic taint pass over every *worker function* (any
+``def`` whose name contains ``worker``) and its scratch-handling callees:
+
+* **taint sources** — names unpacked from a subscript of a ``*bounds*``
+  attribute (``lo, hi = state.bounds[shard]``) and results of the nameable
+  helper ``shard_sample_positions(...)``;
+* **propagation** — through arithmetic, comparisons, subscripts, and calls
+  whose arguments carry taint (``positions = np.flatnonzero((idx >= lo) &
+  (idx < hi))`` taints ``positions``);
+* **checks** — every subscript-store into a scratch-rooted shared view
+  (a target whose object chain mentions ``scratch``) must be indexed by a
+  tainted expression, every ``scatter_fields(...)`` call must receive a
+  tainted position argument, and workers must never write population
+  arrays (``state.base`` / ``state.matrix`` / ``state.indices`` /
+  ``state.arrays``) at all.
+
+Calls that pass a scratch view to another project function are followed one
+level through the call graph, with the call-site taint mapped onto the
+callee's parameters; findings from a callee carry the call chain.
+
+The static proof is "indexed through the worker's own shard descriptor".
+*Numeric* disjointness of the descriptors themselves (e.g. a widened-by-one
+shard) is undecidable here and belongs to the runtime half,
+:mod:`repro.analysis.race_sanitizer` — see ``docs/contracts.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, LintModule, LintProject, ProjectRule
+from ..callgraph import FunctionInfo
+
+__all__ = ["ShardDisjointRule"]
+
+#: Terminal attribute names that identify read-only population arrays a
+#: worker must never store into (only chains like ``state.base`` match —
+#: a bare local ``base`` array is someone else's business).
+_POPULATION_TERMINALS = frozenset({"base", "matrix", "indices", "arrays"})
+
+#: The nameable scatter helper: its position argument must carry taint.
+_SCATTER_HELPERS = frozenset({"scatter_fields"})
+
+#: The nameable shard-filter helper: its result is taint-source.
+_POSITION_HELPERS = frozenset({"shard_sample_positions"})
+
+
+def _peel_subscripts(node: ast.AST) -> tuple[ast.AST, ast.AST | None]:
+    """Peel nested subscripts: return (root object node, outermost index)."""
+    index = None
+    while isinstance(node, ast.Subscript):
+        if index is None:
+            index = node.slice
+        node = node.value
+    return node, index
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _names_in(node: ast.AST | None) -> set[str]:
+    if node is None:
+        return set()
+    return {child.id for child in ast.walk(node) if isinstance(child, ast.Name)}
+
+
+def _assign_targets(node: ast.AST) -> list[str]:
+    """Plain names bound by an Assign/AnnAssign target (tuples unpacked)."""
+    names: list[str] = []
+    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(
+                element.id for element in target.elts if isinstance(element, ast.Name)
+            )
+    return names
+
+
+def _is_bounds_subscript(node: ast.AST) -> bool:
+    """``<chain ending in *bounds*>[...]`` — the canonical shard descriptor."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    dotted = _dotted(node.value)
+    return dotted is not None and "bounds" in dotted.rsplit(".", 1)[-1]
+
+
+def _call_terminal(node: ast.Call) -> str | None:
+    dotted = _dotted(node.func)
+    return dotted.rsplit(".", 1)[-1] if dotted else None
+
+
+class _TaintPass:
+    """Fixed-point taint over one function body."""
+
+    def __init__(self, node: ast.AST, seeds: frozenset[str] = frozenset()) -> None:
+        self.tainted: set[str] = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for statement in ast.walk(node):
+                if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                    value = statement.value
+                    if value is not None and self.expression_tainted(value):
+                        for name in _assign_targets(statement):
+                            if name not in self.tainted:
+                                self.tainted.add(name)
+                                changed = True
+
+    def expression_tainted(self, node: ast.AST | None) -> bool:
+        if node is None:
+            return False
+        for child in ast.walk(node):
+            if _is_bounds_subscript(child):
+                return True
+            if isinstance(child, ast.Call) and _call_terminal(child) in _POSITION_HELPERS:
+                return True
+            if isinstance(child, ast.Name) and child.id in self.tainted:
+                return True
+        return False
+
+
+class ShardDisjointRule(ProjectRule):
+    """Prove every worker's shared-memory write is shard-descriptor indexed."""
+
+    id = "R6"
+    title = "shard-disjointness: worker writes indexed by the shard descriptor"
+
+    def check_project(self, project: LintProject) -> Iterator[Finding]:
+        graph = project.callgraph
+        for qualname in sorted(graph.functions):
+            info = graph.functions[qualname]
+            if "worker" not in info.terminal:
+                continue
+            taint = _TaintPass(info.node)
+            yield from self._check_body(info, taint, chain=(info.terminal,))
+            yield from self._check_scratch_callees(graph, info, taint)
+
+    # ------------------------------------------------------------------
+    def _check_body(
+        self, info: FunctionInfo, taint: _TaintPass, chain: tuple[str, ...]
+    ) -> Iterator[Finding]:
+        module = info.module
+        via = f" [write path: {' -> '.join(chain)}]"
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    yield from self._check_store(module, node, target, taint, via)
+            elif isinstance(node, ast.Call) and _call_terminal(node) in _SCATTER_HELPERS:
+                if len(node.args) >= 2 and not taint.expression_tainted(node.args[1]):
+                    yield self.finding(
+                        module,
+                        node,
+                        "scatter_fields() called with positions not derived "
+                        "from this worker's shard descriptor; out-of-shard "
+                        "scatters race with sibling workers" + via,
+                    )
+
+    def _check_store(
+        self,
+        module: LintModule,
+        statement: ast.AST,
+        target: ast.Subscript,
+        taint: _TaintPass,
+        via: str,
+    ) -> Iterator[Finding]:
+        root, index = _peel_subscripts(target)
+        dotted = _dotted(root)
+        if dotted is None:
+            return
+        if "scratch" in dotted:
+            if not taint.expression_tainted(index):
+                yield self.finding(
+                    module,
+                    statement,
+                    f"write into shared scratch `{dotted}` is not indexed "
+                    "through the worker's shard descriptor (bounds slice or "
+                    "sample-position scatter); overlapping writes between "
+                    "workers are silent corruption" + via,
+                )
+        elif "." in dotted and dotted.rsplit(".", 1)[-1] in _POPULATION_TERMINALS:
+            yield self.finding(
+                module,
+                statement,
+                f"worker writes population array `{dotted}`; workers own "
+                "only their scratch slice — population arrays are read-only "
+                "parent state" + via,
+            )
+
+    def _check_scratch_callees(
+        self, graph, info: FunctionInfo, taint: _TaintPass
+    ) -> Iterator[Finding]:
+        """Follow scratch views one call level down, mapping taint to params."""
+        callees_by_terminal = {
+            graph.functions[site.callee].terminal: graph.functions[site.callee]
+            for site in graph.callees_of(info.qualname)
+        }
+        analyzed: set[tuple[str, frozenset[str]]] = set()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            passes_scratch = any(
+                (dotted := _dotted(arg)) is not None and "scratch" in dotted
+                for arg in node.args
+            )
+            if not passes_scratch:
+                continue
+            name = _dotted(node.func)
+            if name is None:
+                continue
+            callee = callees_by_terminal.get(name.rsplit(".", 1)[-1])
+            if callee is None or callee.terminal in _SCATTER_HELPERS:
+                continue  # unresolved, or the trusted scatter anchor itself
+            seeds = self._seed_params(callee, node, taint)
+            if (callee.qualname, seeds) in analyzed:
+                continue
+            analyzed.add((callee.qualname, seeds))
+            callee_taint = _TaintPass(callee.node, seeds=seeds)
+            yield from self._check_body(
+                callee, callee_taint, chain=(info.terminal, callee.terminal)
+            )
+
+    @staticmethod
+    def _seed_params(
+        callee: FunctionInfo, call: ast.Call, taint: _TaintPass
+    ) -> frozenset[str]:
+        """Callee parameters bound to tainted call-site arguments."""
+        parameters = [arg.arg for arg in callee.node.args.args]
+        if parameters and parameters[0] in ("self", "cls"):
+            parameters = parameters[1:]
+        seeds: set[str] = set()
+        for position, arg in enumerate(call.args):
+            if position < len(parameters) and taint.expression_tainted(arg):
+                seeds.add(parameters[position])
+        for keyword in call.keywords:
+            if keyword.arg and taint.expression_tainted(keyword.value):
+                seeds.add(keyword.arg)
+        return frozenset(seeds)

@@ -1,0 +1,77 @@
+"""Minimal SARIF 2.1.0 rendering of repro-lint findings.
+
+SARIF is the interchange format code-scanning UIs (GitHub's included)
+ingest; ``python -m repro.analysis --format=sarif`` emits one run per
+invocation.  Only the fields those consumers actually read are produced:
+the tool driver with its rule metadata, and one ``result`` per finding with
+a physical location.  Stdlib-only, like the rest of the lint half.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .lint import Finding, Rule
+
+__all__ = ["to_sarif", "sarif_text"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(findings: Sequence[Finding], rules: Sequence[Rule]) -> dict:
+    """A SARIF 2.1.0 log dict for one lint run."""
+    reported = {finding.rule for finding in findings}
+    driver_rules = [
+        {
+            "id": rule.id,
+            "name": rule.__class__.__name__,
+            "shortDescription": {"text": rule.title},
+        }
+        for rule in rules
+    ]
+    # Parse failures surface under a synthetic rule id.
+    for extra in sorted(reported - {rule.id for rule in rules}):
+        driver_rules.append(
+            {"id": extra, "name": extra, "shortDescription": {"text": extra}}
+        )
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {"startLine": finding.line},
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/contracts.md",
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_text(findings: Sequence[Finding], rules: Sequence[Rule]) -> str:
+    """The SARIF log serialized for stdout / artifact upload."""
+    return json.dumps(to_sarif(findings, rules), indent=2, sort_keys=True)

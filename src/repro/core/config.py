@@ -170,6 +170,19 @@ class DCAConfig:
                 f"got {self.rng_batching!r}"
             )
 
+    def rng(self):
+        """The fit's seeded root generator — the RNG-lineage anchor.
+
+        Every stream a fit consumes (initialization, per-step samples)
+        derives from this one generator, which is what makes a ``(seed,
+        config)`` pair fully determine the fit and what repro-lint R5
+        traces draws back to.  A fresh generator is returned per call, so
+        two fits over the same config never share stream state.
+        """
+        import numpy as np  # deferred: config stays importable without numpy
+
+        return np.random.default_rng(self.seed)
+
     def without_refinement(self) -> "DCAConfig":
         """A copy configured to run Core DCA only (used by the Figure 8 ablation)."""
         return replace(self, refinement_iterations=0)

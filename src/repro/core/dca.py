@@ -178,7 +178,7 @@ class _BonusSearch:
         self.k = float(k)
         self.config = config
         self.attribute_names = tuple(objective.attribute_names)
-        self.rng = np.random.default_rng(config.seed)
+        self.rng = config.rng()
 
         # Per-fit precomputation: base scores over the full table and, for
         # the array engine, the raw fairness-attribute matrix A_f plus the
@@ -246,7 +246,7 @@ class _BonusSearch:
         search.k = float(k)
         search.config = config
         search.attribute_names = tuple(attribute_names)
-        search.rng = np.random.default_rng(config.seed)
+        search.rng = config.rng()
         search._base_scores = base_scores
         search._attribute_matrix = attribute_matrix
         search._compiled = compiled

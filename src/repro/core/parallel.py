@@ -55,6 +55,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..analysis import race_sanitizer
 from ..tabular import Table
 from .bonus import compensate_scores
 from .config import DCAConfig, validate_worker_count
@@ -69,8 +70,11 @@ __all__ = [
     "ShardPayload",
     "PlanePayload",
     "PlaneJob",
+    "compute_shard_bounds",
     "execute_process_jobs",
     "process_start_method",
+    "scatter_fields",
+    "shard_sample_positions",
     "validate_worker_count",
 ]
 
@@ -549,6 +553,9 @@ class ShardPayload:
     scratch_keys: dict[str, str]
     shard_bounds: tuple[tuple[int, int], ...]
     k: float
+    #: Plane keys of the write-race ledger (``positions`` / ``counts``)
+    #: when :mod:`repro.analysis.race_sanitizer` is armed, else ``None``.
+    sanitizer_keys: dict[str, str] | None = None
 
 
 class _ShardWorkerState:
@@ -557,6 +564,8 @@ class _ShardWorkerState:
     def __init__(self, payload: ShardPayload) -> None:
         self._shm = _attach_shared_memory(payload.shm_name, untrack=False)
         writable = frozenset(payload.scratch_keys.values())
+        if payload.sanitizer_keys is not None:
+            writable |= frozenset(payload.sanitizer_keys.values())
         arrays = _map_refs(self._shm, payload.refs, writable=writable)
         self.base = arrays["base"]
         self.matrix = arrays["matrix"]
@@ -564,6 +573,13 @@ class _ShardWorkerState:
         self.scratch = {
             field: arrays[key] for field, key in payload.scratch_keys.items()
         }
+        if payload.sanitizer_keys is not None:
+            self.sanitizer: tuple[np.ndarray, np.ndarray] | None = (
+                arrays[payload.sanitizer_keys["positions"]],
+                arrays[payload.sanitizer_keys["counts"]],
+            )
+        else:
+            self.sanitizer = None
         state_arrays = {
             name: arrays[key] for name, key in payload.objective_arrays.items()
         }
@@ -583,6 +599,45 @@ def _shard_worker_init(payload: ShardPayload) -> None:
     _SHARD_STATE = _ShardWorkerState(payload)
 
 
+def compute_shard_bounds(num_rows: int, shard_rows: int) -> tuple[tuple[int, int], ...]:
+    """Contiguous ``(lo, hi)`` row ranges covering ``[0, num_rows)``.
+
+    The single source of shard descriptors for the sharded fit plane: the
+    ranges tile the population exactly — pairwise disjoint, no gaps — which
+    is the property the write-race sanitizer re-proves numerically at every
+    step (and what its injected-race test breaks on purpose).
+    """
+    return tuple(
+        (start, min(start + shard_rows, num_rows))
+        for start in range(0, num_rows, shard_rows)
+    )
+
+
+def shard_sample_positions(indices: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Sample positions whose row index falls in the shard's ``[lo, hi)``.
+
+    The nameable shard filter repro-lint R6 anchors on: every worker write
+    is indexed by this function's result (or a bounds-derived slice), which
+    is what makes per-shard scatters provably descriptor-indexed.
+    """
+    return np.flatnonzero((indices >= lo) & (indices < hi))
+
+
+def scatter_fields(
+    scratch: Mapping[str, np.ndarray],
+    positions: np.ndarray,
+    accumulator: Mapping[str, np.ndarray],
+) -> None:
+    """Scatter accumulator fields into shared scratch at sample positions.
+
+    The one write path from a shard worker into shared memory.  ``positions``
+    must come from :func:`shard_sample_positions` over the worker's own
+    bounds — R6 flags any call whose positions are not shard-derived.
+    """
+    for field, block in accumulator.items():
+        scratch[field][positions] = block
+
+
 def _shard_worker_step(job: tuple[int, tuple[float, ...], int]) -> int:
     """Serve one shard's share of one DCA step; returns rows written.
 
@@ -600,7 +655,10 @@ def _shard_worker_step(job: tuple[int, tuple[float, ...], int]) -> int:
         raise RuntimeError("worker has no attached shard state")
     lo, hi = state.bounds[shard]
     indices = state.indices[:num_sampled]
-    positions = np.flatnonzero((indices >= lo) & (indices < hi))
+    positions = shard_sample_positions(indices, lo, hi)
+    if state.sanitizer is not None:
+        positions_log, counts = state.sanitizer
+        race_sanitizer.record_shard_write(positions_log, counts, shard, positions)
     if positions.size == 0:
         return 0
     sub = indices[positions]
@@ -608,8 +666,7 @@ def _shard_worker_step(job: tuple[int, tuple[float, ...], int]) -> int:
         state.matrix[sub], state.base[sub], np.asarray(bonus_values, dtype=float)
     )
     accumulator = state.compiled.partial(sub, scores, state.k)
-    for field, block in accumulator.items():
-        state.scratch[field][positions] = block
+    scatter_fields(state.scratch, positions, accumulator)
     return int(positions.size)
 
 
@@ -682,10 +739,7 @@ class ShardedFitPlane:
         sample_size = int(sample_size)
         if shard_rows is None:
             shard_rows = -(-num_rows // row_workers)  # ceil: one shard per worker
-        bounds = tuple(
-            (start, min(start + shard_rows, num_rows))
-            for start in range(0, num_rows, shard_rows)
-        )
+        bounds = compute_shard_bounds(num_rows, shard_rows)
 
         base_scores = np.ascontiguousarray(base_scores, dtype=float)
         attribute_matrix = np.ascontiguousarray(attribute_matrix)
@@ -706,6 +760,15 @@ class ShardedFitPlane:
             key = f"objective:{name}"
             specs[key] = (value.dtype.str, tuple(value.shape))
             objective_arrays[name] = key
+        # Opt-in write-race ledger: lives inside the same segment, each
+        # worker writes only its own row (see repro.analysis.race_sanitizer).
+        sanitizer_keys: dict[str, str] | None = None
+        if race_sanitizer.enabled():
+            specs.update(race_sanitizer.ledger_specs(len(bounds), sample_size))
+            sanitizer_keys = {
+                "positions": "sanitizer:positions",
+                "counts": "sanitizer:counts",
+            }
 
         self._plane = SharedPopulationPlane.allocate(specs)
         self._pool = None
@@ -718,10 +781,18 @@ class ShardedFitPlane:
             self._compiled = compiled
             self.k = float(k)
             self.num_shards = len(bounds)
+            self._bounds = bounds
             self._indices = self._plane.view("indices")
             self._scratch = {
                 field: self._plane.view(key) for field, key in scratch_keys.items()
             }
+            if sanitizer_keys is not None:
+                self._sanitizer: tuple[np.ndarray, np.ndarray] | None = (
+                    self._plane.view(sanitizer_keys["positions"]),
+                    self._plane.view(sanitizer_keys["counts"]),
+                )
+            else:
+                self._sanitizer = None
             payload = ShardPayload(
                 shm_name=self._plane.name,
                 refs=self._plane.refs,
@@ -731,6 +802,7 @@ class ShardedFitPlane:
                 scratch_keys=scratch_keys,
                 shard_bounds=bounds,
                 k=self.k,
+                sanitizer_keys=sanitizer_keys,
             )
             context = multiprocessing.get_context(process_start_method())
             self._pool = concurrent.futures.ProcessPoolExecutor(
@@ -756,7 +828,15 @@ class ShardedFitPlane:
         self._indices[:num_sampled] = indices
         bonus = tuple(float(value) for value in bonus_values)
         jobs = [(shard, bonus, num_sampled) for shard in range(self.num_shards)]
+        if self._sanitizer is not None:
+            race_sanitizer.reset_step(self._sanitizer[1])
         written = sum(self._pool.map(_shard_worker_step, jobs))
+        if self._sanitizer is not None:
+            # Verify BEFORE consuming the scratch: on overlap or a missed
+            # region the scratch contents are garbage, and the attributable
+            # WriteRaceError must win over the generic count check below.
+            positions_log, counts = self._sanitizer
+            race_sanitizer.verify_step(positions_log, counts, num_sampled, self._bounds)
         if written != num_sampled:  # pragma: no cover - guards shard-bound bugs
             raise RuntimeError(
                 f"shard workers wrote {written} of {num_sampled} sampled rows"

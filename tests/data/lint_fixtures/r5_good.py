@@ -1,0 +1,28 @@
+"""Known-good R5 fixture: lineage threaded from a seeded root generator.
+
+The same call-graph shape as ``r5_bad.py``, but every stream derives from
+a seed or a ``Generator`` parameter, and the row-shard worker consumes
+only the arrays it was handed — it never mints RNG state of its own.
+"""
+
+import numpy as np
+
+
+def _config_stream(seed):
+    return np.random.default_rng(seed)
+
+
+def _draw(rng: np.random.Generator, n):
+    return rng.choice(n, size=2, replace=False)
+
+
+def fit(values, seed):
+    rng = _config_stream(seed)
+    return _draw(rng, len(values))
+
+
+def _shard_worker_step(state, shard, sample):
+    lo, hi = state.bounds[shard]
+    positions = shard_sample_positions(state.indices, lo, hi)
+    state.scratch[positions] = sample[positions]
+    return positions.shape[0]

@@ -1,0 +1,22 @@
+"""Known-bad R6 fixture: out-of-shard writes into shared worker state.
+
+Four distinct violation shapes: a scratch store indexed by something that
+is not the shard descriptor, a write into a read-only population array, a
+``scatter_fields`` call fed undescribed positions, and an untainted store
+inside a callee the scratch view was passed to.
+"""
+
+
+def _shard_worker_step(state, shard, sample):
+    lo, hi = state.bounds[shard]
+    positions = shard_sample_positions(state.indices, lo, hi)
+    everything = range(state.num_rows)
+    state.scratch[everything] = sample  # LINT-EXPECT: R6
+    state.base[positions] = sample[positions]  # LINT-EXPECT: R6
+    scatter_fields(state.scratch, everything, sample)  # LINT-EXPECT: R6
+    _flush(state.scratch, everything, sample)
+    return positions
+
+
+def _flush(scratch, rows, values):
+    scratch[rows] = values  # LINT-EXPECT: R6

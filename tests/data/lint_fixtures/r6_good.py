@@ -1,0 +1,21 @@
+"""Known-good R6 fixture: every write descriptor-indexed, callees included.
+
+Mirrors ``r6_bad.py`` shape for shape: position scatters, a bounds slice,
+the nameable scatter helper, and a callee — all indexed through taint that
+originates at ``state.bounds[shard]`` / ``shard_sample_positions``.
+"""
+
+
+def _shard_worker_step(state, shard, sample):
+    lo, hi = state.bounds[shard]
+    positions = shard_sample_positions(state.indices, lo, hi)
+    local = sample[positions]
+    state.scratch[positions] = local
+    state.scratch[lo:hi, 0] = local.sum()
+    scatter_fields(state.scratch, positions, local)
+    _flush(state.scratch, positions, local)
+    return positions.shape[0]
+
+
+def _flush(scratch, rows, values):
+    scratch[rows] = values

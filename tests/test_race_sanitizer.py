@@ -1,0 +1,163 @@
+"""The runtime write-race sanitizer: ledger math and the injected race.
+
+Two layers: unit tests drive :func:`~repro.analysis.race_sanitizer.verify_step`
+on hand-built ledgers (overlap, gap, out-of-range, unserved shard), and the
+end-to-end tests run real ``DCA.fit(row_workers=N)`` — clean bounds must
+stay bitwise identical to serial with the sanitizer armed, while a shard
+deliberately widened by one row must die with :class:`WriteRaceError` at
+the first step that samples the contested row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.race_sanitizer import (
+    ENV_FLAG,
+    WriteRaceError,
+    enabled,
+    ledger_specs,
+    record_shard_write,
+    reset_step,
+    verify_step,
+)
+from repro.core import DCA, DCAConfig
+from repro.ranking import ColumnScore
+from repro.tabular import Table
+
+BOUNDS = ((0, 2), (2, 4))
+
+
+def _ledger(num_shards: int = 2, sample_size: int = 6):
+    specs = ledger_specs(num_shards, sample_size)
+    positions = np.zeros(specs["sanitizer:positions"][1], dtype=np.int64)
+    counts = np.zeros(specs["sanitizer:counts"][1], dtype=np.int64)
+    reset_step(counts)
+    return positions, counts
+
+
+class TestLedger:
+    def test_enabled_requires_exact_flag(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not enabled()
+        monkeypatch.setenv(ENV_FLAG, "0")
+        assert not enabled()
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert enabled()
+
+    def test_specs_shapes(self):
+        specs = ledger_specs(3, 500)
+        assert specs["sanitizer:positions"] == ("<i8", (3, 500))
+        assert specs["sanitizer:counts"] == ("<i8", (3,))
+
+    def test_disjoint_covering_step_verifies(self):
+        positions, counts = _ledger()
+        record_shard_write(positions, counts, 0, np.array([0, 1]))
+        record_shard_write(positions, counts, 1, np.array([2, 3]))
+        verify_step(positions, counts, 4, BOUNDS)
+
+    def test_empty_shard_still_counts_as_served(self):
+        positions, counts = _ledger()
+        record_shard_write(positions, counts, 0, np.arange(4))
+        record_shard_write(positions, counts, 1, np.empty(0, dtype=np.int64))
+        verify_step(positions, counts, 4, BOUNDS)
+
+    def test_unserved_shard_raises(self):
+        positions, counts = _ledger()
+        record_shard_write(positions, counts, 0, np.array([0, 1, 2, 3]))
+        with pytest.raises(WriteRaceError, match="shard 1 .* no write ledger"):
+            verify_step(positions, counts, 4, BOUNDS)
+
+    def test_overlap_names_both_writers(self):
+        positions, counts = _ledger()
+        record_shard_write(positions, counts, 0, np.array([0, 1, 2]))
+        record_shard_write(positions, counts, 1, np.array([2, 3]))
+        with pytest.raises(WriteRaceError, match=r"position 2 was written by shards \[0, 1\]"):
+            verify_step(positions, counts, 4, BOUNDS)
+
+    def test_uncovered_position_raises(self):
+        positions, counts = _ledger()
+        record_shard_write(positions, counts, 0, np.array([0]))
+        record_shard_write(positions, counts, 1, np.array([3]))
+        with pytest.raises(WriteRaceError, match="no worker wrote"):
+            verify_step(positions, counts, 4, BOUNDS)
+
+    def test_out_of_range_scatter_raises(self):
+        positions, counts = _ledger()
+        record_shard_write(positions, counts, 0, np.array([0, 5]))
+        record_shard_write(positions, counts, 1, np.array([2, 3]))
+        with pytest.raises(WriteRaceError, match="outside the sample"):
+            verify_step(positions, counts, 4, BOUNDS)
+
+
+# ----------------------------------------------------------------------
+# End to end on a real sharded fit
+# ----------------------------------------------------------------------
+def _cohort(n: int = 400) -> Table:
+    rng = np.random.default_rng(7)
+    rare = (rng.uniform(size=n) < 0.3).astype(float)
+    score = rng.normal(10.0, 2.0, size=n) - rare
+    return Table({"score": score, "rare": rare})
+
+
+#: Full-population sample so the contested boundary row is in every step.
+FULL_SAMPLE = DCAConfig(
+    seed=11, iterations=5, refinement_iterations=5, sample_size=400
+)
+
+
+class TestEndToEnd:
+    def test_clean_fit_is_bitwise_identical_under_sanitizer(self, race_sanitizer):
+        table = _cohort()
+        config = DCAConfig(
+            seed=11, iterations=10, refinement_iterations=10, sample_size=150
+        )
+        dca = DCA(["rare"], ColumnScore("score"), k=0.2, config=config)
+        serial = dca.fit(table)
+        sharded = dca.fit(table, row_workers=2)
+        assert np.array_equal(serial.raw_bonus.values, sharded.raw_bonus.values)
+        assert np.array_equal(serial.bonus.values, sharded.bonus.values)
+
+    def test_widened_shard_raises_write_race(self, race_sanitizer, monkeypatch):
+        """The acceptance injection: one shard one row too wide must die loudly."""
+        import repro.core.parallel as parallel
+
+        true_bounds = parallel.compute_shard_bounds
+
+        def widened(num_rows, shard_rows):
+            bounds = true_bounds(num_rows, shard_rows)
+            first_lo, first_hi = bounds[0]
+            return ((first_lo, first_hi + 1),) + bounds[1:]
+
+        monkeypatch.setattr(parallel, "compute_shard_bounds", widened)
+        dca = DCA(["rare"], ColumnScore("score"), k=0.2, config=FULL_SAMPLE)
+        with pytest.raises(WriteRaceError, match="write race: sample position"):
+            dca.fit(_cohort(), row_workers=2)
+
+    def test_count_preserving_race_is_silent_without_sanitizer(self, monkeypatch):
+        """The bug class the sanitizer exists for: unarmed, the race is silent.
+
+        Pure widening trips the existing total-write-count guard, so the
+        truly dangerous geometry is count-preserving: shard 0 steals one
+        row of shard 1 *and* shard 1 drops its last row.  One position is
+        written twice, one never — totals balance, nothing raises, the fit
+        quietly produces garbage.  Armed, the same geometry must die.
+        """
+        import repro.core.parallel as parallel
+
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        true_bounds = parallel.compute_shard_bounds
+
+        def racy(num_rows, shard_rows):
+            bounds = true_bounds(num_rows, shard_rows)
+            (first_lo, first_hi), (last_lo, last_hi) = bounds[0], bounds[-1]
+            return ((first_lo, first_hi + 1),) + bounds[1:-1] + ((last_lo, last_hi - 1),)
+
+        monkeypatch.setattr(parallel, "compute_shard_bounds", racy)
+        dca = DCA(["rare"], ColumnScore("score"), k=0.2, config=FULL_SAMPLE)
+        dca.fit(_cohort(), row_workers=2)  # completes without any error
+
+        monkeypatch.setenv(ENV_FLAG, "1")
+        with pytest.raises(WriteRaceError):
+            dca.fit(_cohort(), row_workers=2)

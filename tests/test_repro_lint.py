@@ -63,9 +63,14 @@ def test_fixture_corpus_is_complete() -> None:
     flagged_rules = {rule for path in ALL_FIXTURES for _, rule in _expected_findings(path)}
     assert flagged_rules == {rule.id for rule in DEFAULT_RULES}
     good = [path for path in ALL_FIXTURES if not _expected_findings(path)]
-    assert {"r1_good.py", "r2_good.py", "r3_good.py", "r4_good.py"} <= {
-        path.name for path in good
-    }
+    assert {
+        "r1_good.py",
+        "r2_good.py",
+        "r3_good.py",
+        "r4_good.py",
+        "r5_good.py",
+        "r6_good.py",
+    } <= {path.name for path in good}
 
 
 @pytest.mark.parametrize(
@@ -90,15 +95,36 @@ def test_disable_comment_suppresses_findings() -> None:
     assert [finding.rule for finding in findings] == ["R1"]
 
 
+def test_disable_comment_suppresses_project_rule_findings() -> None:
+    """The same-line escape hatch works for the interprocedural R5 too."""
+    disabled = FIXTURES / "r5_disabled.py"
+    assert run_lint([disabled]) == []
+    stripped = disabled.read_text().replace("# repro-lint: disable=R5", "")
+    findings = lint_source(stripped, path="r5_disabled.py")
+    assert [finding.rule for finding in findings] == ["R5"]
+
+
 def test_hot_path_gating() -> None:
-    """R1 only fires under core/, matching/, ranking/ directories."""
+    """R1 fires under the hot directories (baselines/experiments included)."""
     source = "import numpy as np\n\n\ndef draw():\n    return np.random.rand(3)\n"
     assert [f.rule for f in lint_source(source, path="repro/core/demo.py")] == ["R1"]
-    assert lint_source(source, path="repro/experiments/demo.py") == []
+    assert [f.rule for f in lint_source(source, path="repro/baselines/demo.py")] == ["R1"]
+    assert [f.rule for f in lint_source(source, path="repro/experiments/demo.py")] == ["R1"]
+    assert lint_source(source, path="repro/tabular/demo.py") == []
+
+
+def test_interprocedural_findings_carry_call_chains() -> None:
+    """R5/R6 messages name the path that connects entry to violation."""
+    r5 = {f.line: f.message for f in run_lint([FIXTURES / "r5_bad.py"])}
+    assert "[reached via r5_bad.fit -> r5_bad._entropy_stream]" in r5[19]
+    assert "[reached via r5_bad._shard_worker_step -> r5_bad._fork_stream]" in r5[39]
+    r6 = {f.line: f.message for f in run_lint([FIXTURES / "r6_bad.py"])}
+    assert "[write path: _shard_worker_step]" in r6[14]
+    assert "[write path: _shard_worker_step -> _flush]" in r6[22]
 
 
 def test_rule_selection_and_registry() -> None:
-    assert [rule.id for rule in DEFAULT_RULES] == ["R1", "R2", "R3", "R4"]
+    assert [rule.id for rule in DEFAULT_RULES] == ["R1", "R2", "R3", "R4", "R5", "R6"]
     assert [rule.id for rule in rules_by_id(["R3", "R1"])] == ["R3", "R1"]
     with pytest.raises(KeyError):
         rules_by_id(["R9"])
@@ -134,6 +160,52 @@ def test_cli_github_format() -> None:
     assert result.returncode == 1
     lines = result.stdout.strip().splitlines()
     assert lines and all(line.startswith("::error file=") for line in lines)
+
+
+def test_cli_sarif_format() -> None:
+    import json
+
+    result = _cli(str(FIXTURES / "r5_bad.py"), "--format=sarif")
+    assert result.returncode == 1
+    log = json.loads(result.stdout)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert {rule["id"] for rule in run["tool"]["driver"]["rules"]} >= {"R5", "R6"}
+    assert run["results"], "expected findings in the SARIF log"
+    sample = run["results"][0]
+    assert sample["ruleId"] == "R5"
+    location = sample["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("r5_bad.py")
+    assert location["region"]["startLine"] > 0
+    # A clean tree emits a valid, empty-results log and exits 0.
+    clean = _cli(str(FIXTURES / "r5_good.py"), "--format=sarif")
+    assert clean.returncode == 0
+    assert json.loads(clean.stdout)["runs"][0]["results"] == []
+
+
+def test_cli_baseline_round_trip(tmp_path: Path) -> None:
+    """--write-baseline records findings; --baseline suppresses exactly those."""
+    baseline = tmp_path / "baseline.json"
+    bad = str(FIXTURES / "r6_bad.py")
+    wrote = _cli(bad, "--write-baseline", str(baseline))
+    assert wrote.returncode == 0
+    assert baseline.exists()
+    suppressed = _cli(bad, "--baseline", str(baseline))
+    assert suppressed.returncode == 0
+    assert suppressed.stdout == ""
+    # A file with findings NOT in the baseline still fails.
+    fresh = _cli(bad, str(FIXTURES / "r5_bad.py"), "--baseline", str(baseline))
+    assert fresh.returncode == 1
+    assert "R5" in fresh.stdout and " R6 " not in fresh.stdout
+
+
+def test_cli_baseline_rejects_bad_file(tmp_path: Path) -> None:
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"schema": 99, "findings": []}')
+    result = _cli(str(FIXTURES / "r6_bad.py"), "--baseline", str(bogus))
+    assert result.returncode == 2
+    assert "baseline" in result.stderr
 
 
 def test_cli_list_rules_and_bad_rule_id() -> None:
