@@ -45,8 +45,12 @@ _DISABLE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 #: Directories whose files count as determinism-critical hot paths (R1).
 #: ``baselines`` and ``experiments`` joined in PR 7: their outputs feed the
 #: paper's comparison tables, so hidden-global draws there corrupt results
-#: just as silently as in the optimizer itself.
-HOT_PATH_DIRS = frozenset({"core", "matching", "ranking", "baselines", "experiments"})
+#: just as silently as in the optimizer itself.  ``scenarios`` joined with
+#: the Monte-Carlo stress harness: its markets seed the golden differential
+#: corpus, so an unseeded draw there silently invalidates replay.
+HOT_PATH_DIRS = frozenset(
+    {"core", "matching", "ranking", "baselines", "experiments", "scenarios"}
+)
 
 
 @dataclass(frozen=True)

@@ -62,7 +62,7 @@ def _is_allocation(call: ast.Call) -> bool:
         owner = dotted_name(call.func.value)
         if owner is not None and "Plane" in owner:
             return True
-    if terminal == "generate_school_cohort":
+    if terminal in {"generate_school_cohort", "generate_compas_cohort"}:
         for keyword in call.keywords:
             if (
                 keyword.arg == "shared"

@@ -6,6 +6,7 @@ from .compas import (
     CompasDataset,
     CompasGeneratorConfig,
     compas_release_ranking_function,
+    generate_compas_cohort,
     generate_compas_dataset,
     race_attribute_name,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "COMPAS_RACES",
     "COMPAS_RACE_ATTRIBUTES",
     "compas_release_ranking_function",
+    "generate_compas_cohort",
     "generate_compas_dataset",
     "race_attribute_name",
     "load_school_cohorts",

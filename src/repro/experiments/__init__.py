@@ -13,6 +13,7 @@ from . import (
     fig9_disparate_impact,
     fig10_compas,
     matching_admissions,
+    scenario_stress,
     table1,
     table2,
 )
@@ -35,6 +36,7 @@ EXPERIMENT_RUNNERS = {
     "exposure_ddp": exposure_ddp.run,
     "ablations": ablations.run,
     "matching": matching_admissions.run,
+    "scenarios": scenario_stress.run,
 }
 
 __all__ = [

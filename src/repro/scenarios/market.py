@@ -1,0 +1,184 @@
+"""Turn a :class:`~repro.scenarios.configs.ScenarioConfig` into a concrete market.
+
+One call to :func:`generate_market` produces everything a stress cell needs:
+
+* a population :class:`~repro.tabular.Table` with the protected attributes
+  (drawn through the same :class:`~repro.datasets.GaussianCopula` machinery
+  as the calibrated cohorts), their intersections, and a 0-100 ``score``
+  column;
+* the per-school ``(num_schools, num_students)`` score plane (shared score
+  plus per-school screening noise);
+* school capacities realizing the config's shape (even, Zipf-tailed, or
+  zero/oversized mixes);
+* padded ``int64`` student preference matrices (popularity or clustered
+  model).
+
+Determinism contract: every random value derives from one
+``np.random.default_rng((config.seed, trial))`` stream consumed in a fixed
+order, so ``(config, trial)`` is a complete description of the market —
+the property the golden corpus and the differential suites rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import GaussianCopula, binary_marginal, uniform_marginal
+from ..ranking import ColumnScore, ScoreFunction
+from ..tabular import Table
+from .configs import ScenarioConfig
+
+__all__ = ["ScenarioMarket", "generate_market"]
+
+
+@dataclass(frozen=True)
+class ScenarioMarket:
+    """One realized market: population, scores, seats, and preferences."""
+
+    config: ScenarioConfig
+    trial: int
+    table: Table
+    fairness_attributes: tuple[str, ...]
+    base_scores: np.ndarray
+    score_plane: np.ndarray
+    capacities: tuple[int, ...]
+    preferences: np.ndarray
+
+    @property
+    def num_students(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def num_schools(self) -> int:
+        return len(self.capacities)
+
+    def score_function(self) -> ScoreFunction:
+        """The ranking function DCA compensates: the ``score`` column itself."""
+        return ColumnScore("score")
+
+
+def _build_copula(config: ScenarioConfig) -> GaussianCopula:
+    """Latent dimensions: one per attribute, plus a trailing ability latent."""
+    marginals = [
+        binary_marginal(spec.name, spec.prevalence) for spec in config.attributes
+    ]
+    marginals.append(uniform_marginal("ability", 0.0, 1.0))  # transform unused
+    size = len(marginals)
+    correlation = np.eye(size)
+    index = {spec.name: i for i, spec in enumerate(config.attributes)}
+    for a, b, rho in config.attribute_correlations:
+        correlation[index[a], index[b]] = rho
+        correlation[index[b], index[a]] = rho
+    for spec in config.attributes:
+        correlation[index[spec.name], size - 1] = spec.score_correlation
+        correlation[size - 1, index[spec.name]] = spec.score_correlation
+    return GaussianCopula(marginals, correlation)
+
+
+def _quantize(values: np.ndarray, levels: int) -> np.ndarray:
+    """Crush ``values`` into at most ``levels`` distinct scores (tie storms).
+
+    Levels are evenly spaced over the observed range and mapped back onto a
+    0-100 scale, so a tie-storm market still speaks "points out of 100".
+    """
+    low = float(values.min())
+    span = float(values.max()) - low
+    if span <= 0.0:
+        return np.zeros_like(values)
+    buckets = np.minimum((values - low) / span * levels, levels - 1).astype(np.int64)
+    return buckets.astype(float) * (100.0 / (levels - 1))
+
+
+def _capacities(config: ScenarioConfig) -> tuple[int, ...]:
+    """Seat counts per school, realizing the capacity shape deterministically."""
+    spec = config.capacities
+    num_ordinary = config.num_schools - spec.zero_schools - spec.oversized_schools
+    total = max(num_ordinary, int(round(spec.seat_fraction * config.num_students)))
+    if spec.tail_exponent is None:
+        seats, remainder = divmod(total, num_ordinary)
+        ordinary = [seats + (1 if i < remainder else 0) for i in range(num_ordinary)]
+    else:
+        weights = 1.0 / np.arange(1, num_ordinary + 1, dtype=float) ** spec.tail_exponent
+        weights /= weights.sum()
+        ordinary = list(np.maximum(1, np.floor(weights * total).astype(int)))
+        # Remainder (possibly negative after the >=1 floor) lands on the
+        # magnet school, which always dominates the Zipf weights.
+        ordinary[0] = max(1, ordinary[0] + total - int(np.sum(ordinary)))
+    capacities = (
+        [0] * spec.zero_schools
+        + ordinary
+        + [config.num_students] * spec.oversized_schools
+    )
+    return tuple(int(c) for c in capacities)
+
+
+def _preferences(
+    config: ScenarioConfig, table: Table, rng: np.random.Generator
+) -> np.ndarray:
+    """Padded ``(num_students, list_length)`` preference matrix."""
+    spec = config.preferences
+    n = config.num_students
+    m = config.num_schools
+    list_length = min(spec.list_length, m)
+    popularity = rng.normal(0.0, spec.popularity_spread, size=m)
+    utilities = popularity + rng.gumbel(0.0, 1.0, size=(n, m))
+    if spec.model == "clustered":
+        affinity = rng.normal(0.0, spec.cluster_affinity, size=(spec.clusters, m))
+        assignment = rng.integers(0, spec.clusters, size=n)
+        if spec.alignment is not None:
+            # Members of the aligned group mostly share cluster 0, so their
+            # preference lists collide — demographics-correlated demand.
+            members = table.numeric(spec.alignment) > 0.5
+            pulled = rng.uniform(size=n) < 0.8
+            assignment = np.where(members & pulled, 0, assignment)
+        utilities = utilities + affinity[assignment]
+    return np.argsort(-utilities, axis=1)[:, :list_length].astype(np.int64)
+
+
+def generate_market(config: ScenarioConfig, trial: int = 0) -> ScenarioMarket:
+    """Realize ``config`` as a concrete market for one Monte-Carlo trial."""
+    config.validate()
+    if trial < 0:
+        raise ValueError(f"trial must be non-negative, got {trial}")
+    rng = np.random.default_rng((config.seed, trial))
+    n = config.num_students
+
+    copula = _build_copula(config)
+    columns: dict[str, np.ndarray] = {
+        spec.name: np.empty(n, dtype=float) for spec in config.attributes
+    }
+    latent = copula.latent_and_sample_into(n, rng, columns)
+    ability = latent[:, -1]
+
+    penalty = np.zeros(n)
+    for spec in config.attributes:
+        penalty += spec.score_penalty * columns[spec.name]
+    score_latent = ability - penalty + rng.normal(0.0, config.score_noise, size=n)
+    base_scores = np.clip(60.0 + 12.0 * score_latent, 0.0, 100.0)
+    if config.tie_levels is not None:
+        base_scores = _quantize(base_scores, config.tie_levels)
+
+    for a, b in config.intersections:
+        columns[f"{a}_x_{b}"] = columns[a] * columns[b]
+    columns["score"] = base_scores
+    table = Table(columns)
+
+    noise_scale = config.screening_noise * max(float(np.std(base_scores)), 1e-9)
+    plane = base_scores[np.newaxis, :] + rng.normal(
+        0.0, noise_scale, size=(config.num_schools, n)
+    )
+    if config.tie_levels is not None:
+        plane = _quantize(plane, config.tie_levels)
+
+    return ScenarioMarket(
+        config=config,
+        trial=int(trial),
+        table=table,
+        fairness_attributes=config.fairness_attributes,
+        base_scores=base_scores,
+        score_plane=plane,
+        capacities=_capacities(config),
+        preferences=_preferences(config, table, rng),
+    )

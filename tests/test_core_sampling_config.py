@@ -148,6 +148,101 @@ class TestSampleStream:
             assert np.array_equal(drawn, table.numeric("x")[indices])
 
 
+class TestSampleStreamStratifyEdgeCases:
+    """Pinned behaviour of stratified streams on degenerate inputs.
+
+    The contract in every degenerate case is *graceful degradation to the
+    uniform stream*: a stratum with nothing to protect builds no correction
+    and consumes no extra RNG state, so the draw sequence stays bit-for-bit
+    identical to an unstratified stream with the same seed.
+    """
+
+    @staticmethod
+    def _rare_population(n: int = 2_000, members: int = 12) -> Table:
+        rng = np.random.default_rng(7)
+        rare = np.zeros(n)
+        rare[rng.choice(n, size=members, replace=False)] = 1.0
+        return Table({"score": rng.normal(10.0, 2.0, size=n), "rare": rare})
+
+    def test_stratum_emptied_by_filtering_degrades_to_uniform(self):
+        """Filtering away every member leaves a 0%-prevalence attribute.
+
+        ``_build_strata`` must skip it (there is nothing left to protect),
+        not crash or try to sample from an empty pool.
+        """
+        table = self._rare_population()
+        filtered = table.filter(lambda t: t.numeric("rare") < 0.5)
+        assert float(filtered.numeric("rare").sum()) == 0.0
+        stratified = SampleStream(
+            filtered, 100, rng=np.random.default_rng(3), stratify=("rare",)
+        )
+        uniform = SampleStream(filtered, 100, rng=np.random.default_rng(3))
+        for _ in range(5):
+            assert np.array_equal(stratified.draw_indices(), uniform.draw_indices())
+
+    def test_all_majority_attribute_degrades_to_uniform(self):
+        """A 100%-prevalence attribute has no rarest side to enforce."""
+        table = Table(
+            {
+                "score": np.arange(500.0),
+                "always": np.ones(500),
+            }
+        )
+        stratified = SampleStream(
+            table, 50, rng=np.random.default_rng(4), stratify=("always",)
+        )
+        uniform = SampleStream(table, 50, rng=np.random.default_rng(4))
+        for _ in range(5):
+            assert np.array_equal(stratified.draw_indices(), uniform.draw_indices())
+
+    def test_degenerate_attribute_does_not_disturb_real_stratum(self):
+        """Mixing an all-ones attribute in leaves the real stratum enforced."""
+        table = self._rare_population()
+        mixed = table.with_column("always", np.ones(table.num_rows))
+        member_mask = table.numeric("rare") > 0.5
+        stream = SampleStream(
+            mixed, 100, rng=np.random.default_rng(9), stratify=("always", "rare")
+        )
+        for _ in range(50):
+            assert member_mask[stream.draw_indices()].any()
+
+    def test_stratify_with_per_phase_batching_enforces_every_row(self):
+        """``rng_batching="per_phase"`` draws still honour the stratum minimum."""
+        table = self._rare_population()
+        member_mask = table.numeric("rare") > 0.5
+        stratified = SampleStream(
+            table,
+            100,
+            rng=np.random.default_rng(5),
+            stratify=("rare",),
+            min_stratum_count=2,
+        )
+        matrix = stratified.draw_phase_indices(50)
+        assert matrix.shape == (50, 100)
+        assert min(int(member_mask[row].sum()) for row in matrix) >= 2
+        # The guarantee is not vacuous: the uniform per-phase stream with the
+        # same seed misses the group in some rows of the same phase.
+        uniform = SampleStream(table, 100, rng=np.random.default_rng(5))
+        uniform_matrix = uniform.draw_phase_indices(50)
+        assert any(not member_mask[row].any() for row in uniform_matrix)
+
+    def test_stratify_with_per_phase_identity_broadcast(self):
+        """Full-population phases take the read-only identity fast path.
+
+        ``draw_phase_indices`` returns a broadcast identity matrix when the
+        sample covers the population; the strata pass must not try to mutate
+        it (every group is trivially fully represented).
+        """
+        table = self._rare_population(n=200, members=5)
+        stream = SampleStream(
+            table, 5_000, rng=np.random.default_rng(1), stratify=("rare",)
+        )
+        matrix = stream.draw_phase_indices(3)
+        assert matrix.shape == (3, 200)
+        for row in matrix:
+            assert np.array_equal(row, np.arange(200))
+
+
 class TestDCAConfig:
     def test_defaults_are_valid(self):
         DCAConfig().validate()

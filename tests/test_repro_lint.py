@@ -105,11 +105,12 @@ def test_disable_comment_suppresses_project_rule_findings() -> None:
 
 
 def test_hot_path_gating() -> None:
-    """R1 fires under the hot directories (baselines/experiments included)."""
+    """R1 fires under the hot directories (scenarios included since PR 8)."""
     source = "import numpy as np\n\n\ndef draw():\n    return np.random.rand(3)\n"
     assert [f.rule for f in lint_source(source, path="repro/core/demo.py")] == ["R1"]
     assert [f.rule for f in lint_source(source, path="repro/baselines/demo.py")] == ["R1"]
     assert [f.rule for f in lint_source(source, path="repro/experiments/demo.py")] == ["R1"]
+    assert [f.rule for f in lint_source(source, path="repro/scenarios/demo.py")] == ["R1"]
     assert lint_source(source, path="repro/tabular/demo.py") == []
 
 
