@@ -26,6 +26,12 @@ is race-free by construction.  After every step the parent calls
 two shards raises (overlap), as does a sample position covered by none
 (the parent would read garbage).
 
+The ledger also covers the distributed top-k region: each worker's top-k
+candidate rows live in its own shard row of the ``topk:*`` arrays, and
+:func:`verify_topk` cross-checks them against the scatter ledger — a shard
+publishing more candidates than the merge limit allows, or candidates at
+positions it never scattered, is flagged before the parent merges.
+
 The knob is read once per plane construction, so enabling it mid-suite via
 ``monkeypatch.setenv`` affects exactly the planes built afterwards.  The
 ledger adds one extra sample-sized scatter per worker per step — cheap
@@ -47,6 +53,7 @@ __all__ = [
     "record_shard_write",
     "reset_step",
     "verify_step",
+    "verify_topk",
 ]
 
 #: Environment variable arming the sanitizer (``"1"`` = on).
@@ -146,3 +153,45 @@ def verify_step(
             f"wrote (first: {int(missing[0])}); shard bounds do not cover "
             "the population"
         )
+
+
+def verify_topk(
+    positions_log: np.ndarray,
+    counts: np.ndarray,
+    topk_positions: np.ndarray,
+    topk_counts: np.ndarray,
+    limit: int,
+) -> None:
+    """Parent-side: prove the distributed top-k region is shard-consistent.
+
+    Runs after :func:`verify_step` (so the scatter ledger itself is already
+    proven disjoint and complete) and before the parent merges candidates.
+    For each shard, the published candidate count must be exactly
+    ``min(rows the shard scattered, limit)`` — where ``limit`` is the
+    global selection size the merge keeps per shard — and every candidate
+    position must be one the shard actually scattered this step.  A foreign
+    position means a worker read (and ranked) another shard's rows; a wrong
+    count means the parent would merge stale candidates from a previous
+    step.  Raises :class:`WriteRaceError` naming the offending shard.
+    """
+    num_shards = counts.shape[0]
+    for shard in range(num_shards):
+        written = int(counts[shard])
+        candidate_count = int(topk_counts[shard])
+        expected = min(written, int(limit))
+        if candidate_count != expected:
+            raise WriteRaceError(
+                f"top-k race: shard {shard} published {candidate_count} "
+                f"candidate(s) but scattered {written} row(s) under merge "
+                f"limit {limit} (expected {expected}); the parent would "
+                "merge stale or truncated candidates"
+            )
+        candidates = topk_positions[shard, :candidate_count]
+        scattered = positions_log[shard, :written]
+        foreign = candidates[~np.isin(candidates, scattered)]
+        if foreign.size:
+            raise WriteRaceError(
+                f"top-k race: shard {shard} published candidate position(s) "
+                f"{foreign.tolist()} it never scattered this step — a worker "
+                "ranked rows outside its own shard"
+            )

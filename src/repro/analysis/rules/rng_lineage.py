@@ -45,11 +45,14 @@ ENTRY_TERMINALS = (
     "deferred_acceptance",
     "_plane_worker_fit",
     "_shard_worker_step",
+    "_scheduler_worker_loop",
 )
 
 #: Entry points forming the row-shard worker path, where even seeded
 #: generator minting is a violation (the parent owns the sample stream).
-WORKER_ENTRY_TERMINALS = ("_shard_worker_step",)
+#: ``_shard_worker_serve`` is the shared step kernel both the legacy
+#: ``pool.map`` dispatch and the doorbell scheduler loop call into.
+WORKER_ENTRY_TERMINALS = ("_shard_worker_step", "_shard_worker_serve")
 
 
 def _short(qualname: str) -> str:

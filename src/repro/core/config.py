@@ -103,6 +103,17 @@ class DCAConfig:
         frequency).  Opt-in because the correction consumes extra RNG draws
         whenever it triggers, so fits are not seed-comparable with the
         default mode.
+    step_dispatch:
+        How a row-sharded fit drives its workers each step.  ``"doorbell"``
+        (the default) keeps one persistent pool blocking on a shared-memory
+        doorbell (:class:`~repro.core.scheduler.FitScheduler`): the parent
+        writes ``(bonus, sample_len, step_id)`` into the control block and
+        barrier-releases the workers — no per-step pickling or task-queue
+        hop — and, when the objective supports it, workers publish
+        shard-local top-k candidates so the parent merges ``shards × k``
+        entries instead of argpartitioning the full sample.  ``"pool"`` is
+        the legacy per-step ``pool.map`` dispatch kept for comparison
+        benches and debugging.  Results are bitwise identical either way.
     """
 
     learning_rates: tuple[float, ...] = (1.0, 0.1)
@@ -122,6 +133,7 @@ class DCAConfig:
     shard_rows: int | None = None
     rng_batching: str = "per_step"
     stratified_sampling: bool = False
+    step_dispatch: str = "doorbell"
 
     def validate(self) -> None:
         if not self.learning_rates:
@@ -168,6 +180,10 @@ class DCAConfig:
             raise ValueError(
                 "rng_batching must be 'per_step' or 'per_phase', "
                 f"got {self.rng_batching!r}"
+            )
+        if self.step_dispatch not in ("doorbell", "pool"):
+            raise ValueError(
+                f"step_dispatch must be 'doorbell' or 'pool', got {self.step_dispatch!r}"
             )
 
     def rng(self):

@@ -92,6 +92,7 @@ from .config import DCAConfig
 from .objectives import CompiledObjective, DisparityObjective, FairnessObjective
 from .parallel import (
     CompiledObjectiveCache,
+    PlaneCache,
     PlaneJob,
     PlanePayload,
     ShardedFitPlane,
@@ -582,6 +583,7 @@ class DCA:
         *,
         row_workers: int | None = None,
         shard_rows: int | None = None,
+        plane_cache: PlaneCache | None = None,
     ) -> DCAResult:
         """Fit bonus points on ``table`` (the training cohort / distribution sample).
 
@@ -599,6 +601,14 @@ class DCA:
         eagerly.  Fits whose compiled objective cannot shard (``engine=
         "table"``, table-fallback compilations, non-exportable state) fall
         back to in-process execution — same results, no parallelism.
+
+        ``plane_cache`` (a :class:`~repro.core.parallel.PlaneCache`) makes
+        plane construction shareable: instead of building and tearing down
+        its own plane + worker pool, the fit leases one from the cache, and
+        later fits with the same signature on the same population reuse it
+        — the pool stays resident across jobs.  The cache owns the leased
+        planes; close it when the batch is done.  :meth:`fit_many` passes
+        one automatically to every row-sharded job.
         """
         start = time.perf_counter()
         row_workers = validate_worker_count(
@@ -619,33 +629,64 @@ class DCA:
             objective_cache=self.objective_cache,
         )
         if row_workers is not None and row_workers > 1:
-            plane = self._build_sharded_plane(search, row_workers, shard_rows)
+            plane, owned = self._build_sharded_plane(
+                search, row_workers, shard_rows, plane_cache
+            )
             if plane is not None:
                 try:
                     sharded = _ShardedBonusSearch(search, plane)
                     return _finish_fit(sharded, self.fairness_attributes, self.config, start)
                 finally:
-                    plane.close()
+                    if owned:
+                        plane.close()
         return _finish_fit(search, self.fairness_attributes, self.config, start)
 
     def _build_sharded_plane(
-        self, search: _BonusSearch, row_workers: int, shard_rows: int | None
-    ) -> ShardedFitPlane | None:
-        """A sharded plane for ``search``, or ``None`` when it cannot shard."""
+        self,
+        search: _BonusSearch,
+        row_workers: int,
+        shard_rows: int | None,
+        plane_cache: PlaneCache | None = None,
+    ) -> tuple[ShardedFitPlane | None, bool]:
+        """A sharded plane for ``search``, or ``None`` when it cannot shard.
+
+        Returns ``(plane, owned)``: ``owned`` is True when the caller must
+        close the plane (no cache, or the objective has no signature to key
+        a cache entry on), False when ``plane_cache`` keeps it alive for
+        reuse by later same-signature fits.
+        """
         compiled = search._compiled
         if compiled is None:  # engine="table": no array plane to shard
-            return None
+            return None, True
         if compiled.shard_fields() is None or compiled.export_state() is None:
-            return None
-        return ShardedFitPlane(
-            base_scores=search._base_scores,
-            attribute_matrix=search._attribute_matrix,
-            compiled=compiled,
-            sample_size=search.sample_size,
-            k=search.k,
-            row_workers=row_workers,
-            shard_rows=shard_rows,
+            return None, True
+
+        def build() -> ShardedFitPlane:
+            return ShardedFitPlane(
+                base_scores=search._base_scores,
+                attribute_matrix=search._attribute_matrix,
+                compiled=compiled,
+                sample_size=search.sample_size,
+                k=search.k,
+                row_workers=row_workers,
+                shard_rows=shard_rows,
+                step_dispatch=search.config.step_dispatch,
+            )
+
+        signature = search.objective.signature()
+        if plane_cache is None or signature is None:
+            return build(), True
+        # Everything the plane bakes in besides the population and scorer:
+        # equal keys on the same table get bitwise-identical planes.
+        key = (
+            signature,
+            search.k,
+            search.sample_size,
+            row_workers,
+            shard_rows,
+            search.config.step_dispatch,
         )
+        return plane_cache.lease(search.table, self.score_function, key, build), False
 
     def fit_many(
         self,
@@ -658,6 +699,7 @@ class DCA:
         max_workers: int | None = None,
         executor: str | None = None,
         row_workers: int | None = None,
+        plane_cache: PlaneCache | None = None,
     ) -> list[BatchFitResult]:
         """Fit a batch of bonus vectors on ``table`` in one call.
 
@@ -704,11 +746,13 @@ class DCA:
         a worker pool while sibling threads hold locks would deadlock the
         children); under ``executor="process"`` they run in the parent
         rather than nesting pools inside pool workers.  Results are
-        identical on every path.  Each row-sharded job currently builds
-        (and tears down) its own plane and worker pool, so for large
-        batches over one cohort plain ``executor="process"`` job sharding
-        amortizes better; reserve ``row_workers`` for batches of a few
-        huge fits.
+        identical on every path.  Row-sharded jobs share planes through a
+        :class:`~repro.core.parallel.PlaneCache`: same-signature jobs reuse
+        one plane + resident worker pool instead of each building (and
+        tearing down) its own.  Pass ``plane_cache`` to extend that reuse
+        across ``fit_many`` calls (the caller then owns the cache and must
+        close it); by default an internal cache lives for exactly this
+        call.
 
         Examples
         --------
@@ -751,34 +795,46 @@ class DCA:
             if self.objective_cache is not None
             else default_objective_cache()
         )
+        # Same pattern for the plane cache: when the caller passed one, they
+        # own its lifetime (reuse across fit_many calls); otherwise this
+        # call owns an internal cache and closes it — and with it every
+        # leased plane + worker pool — on the way out.
+        owns_planes = plane_cache is None
+        planes = PlaneCache() if plane_cache is None else plane_cache
 
-        if executor == "process":
-            return self._fit_many_process(table, jobs, cache, workers, row_workers)
+        try:
+            if executor == "process":
+                return self._fit_many_process(
+                    table, jobs, cache, workers, row_workers, planes
+                )
 
-        def run_one(spec: FitSpec) -> BatchFitResult:
-            return self._run_single_spec(table, spec, cache, row_workers)
+            def run_one(spec: FitSpec) -> BatchFitResult:
+                return self._run_single_spec(table, spec, cache, row_workers, planes)
 
-        if executor == "thread" and workers > 1 and len(jobs) > 1:
-            # Row-sharded jobs fork a process pool of their own; forking
-            # while sibling pool threads run (and hold locks) deadlocks the
-            # children, so those jobs wait for the thread pool to drain and
-            # then run in the calling thread — same results, same ordering.
-            pooled: list[int] = []
-            deferred: list[int] = []
-            for index, spec in enumerate(jobs):
-                config, _, _ = self._resolve_spec(spec, row_workers)
-                (deferred if (config.row_workers or 0) > 1 else pooled).append(index)
-            results: dict[int, BatchFitResult] = {}
-            if pooled:
-                with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-                    for index, result in zip(
-                        pooled, pool.map(run_one, [jobs[index] for index in pooled])
-                    ):
-                        results[index] = result
-            for index in deferred:
-                results[index] = run_one(jobs[index])
-            return [results[index] for index in range(len(jobs))]
-        return [run_one(job) for job in jobs]
+            if executor == "thread" and workers > 1 and len(jobs) > 1:
+                # Row-sharded jobs fork a process pool of their own; forking
+                # while sibling pool threads run (and hold locks) deadlocks the
+                # children, so those jobs wait for the thread pool to drain and
+                # then run in the calling thread — same results, same ordering.
+                pooled: list[int] = []
+                deferred: list[int] = []
+                for index, spec in enumerate(jobs):
+                    config, _, _ = self._resolve_spec(spec, row_workers)
+                    (deferred if (config.row_workers or 0) > 1 else pooled).append(index)
+                results: dict[int, BatchFitResult] = {}
+                if pooled:
+                    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                        for index, result in zip(
+                            pooled, pool.map(run_one, [jobs[index] for index in pooled])
+                        ):
+                            results[index] = result
+                for index in deferred:
+                    results[index] = run_one(jobs[index])
+                return [results[index] for index in range(len(jobs))]
+            return [run_one(job) for job in jobs]
+        finally:
+            if owns_planes:
+                planes.close()
 
     # ------------------------------------------------------------------
     # fit_many internals
@@ -808,6 +864,7 @@ class DCA:
         spec: FitSpec,
         cache: CompiledObjectiveCache,
         row_workers: int | None = None,
+        plane_cache: PlaneCache | None = None,
     ) -> BatchFitResult:
         """Run one batch job in this process (the serial/thread backends)."""
         config, objective_template, k = self._resolve_spec(spec, row_workers)
@@ -822,7 +879,12 @@ class DCA:
             config=config,
             objective_cache=cache,
         )
-        return BatchFitResult(spec=spec, k=k, seed=config.seed, result=job_dca.fit(table))
+        return BatchFitResult(
+            spec=spec,
+            k=k,
+            seed=config.seed,
+            result=job_dca.fit(table, plane_cache=plane_cache),
+        )
 
     def _fit_many_process(
         self,
@@ -831,6 +893,7 @@ class DCA:
         cache: CompiledObjectiveCache,
         max_workers: int,
         row_workers: int | None = None,
+        plane_cache: PlaneCache | None = None,
     ) -> list[BatchFitResult]:
         """The shared-memory process backend of :meth:`fit_many`.
 
@@ -919,7 +982,9 @@ class DCA:
             finally:
                 plane.close()
         for index, spec in parent_jobs:
-            results[index] = self._run_single_spec(table, spec, cache, row_workers)
+            results[index] = self._run_single_spec(
+                table, spec, cache, row_workers, plane_cache
+            )
         return [results[index] for index in range(len(jobs))]
 
     def compensated_scores(self, table: Table, bonus: BonusVector) -> np.ndarray:

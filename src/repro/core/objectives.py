@@ -178,6 +178,21 @@ class CompiledObjective(abc.ABC):
         """
         return None
 
+    def topk_fraction(self, k: float) -> float | None:
+        """The single selection fraction :meth:`merge` masks with, if any.
+
+        When an objective's reduce step selects exactly one top-``k`` set
+        over the merged scores (``selection_mask(scores, fraction)`` for one
+        fraction), returning that fraction lets the sharded fit plane
+        compute the mask *distributed*: workers publish shard-local top
+        candidates and the parent merges ``shards × k`` entries instead of
+        argpartitioning the full sample, then hands the finished mask to
+        :meth:`merge` via its ``selection`` argument.  Returning ``None``
+        (the default) declares no such single mask — e.g. multi-fraction
+        reduces — and merge computes selections itself.
+        """
+        return None
+
     def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
         """Map step: one shard's accumulator for the rows at ``indices``.
 
@@ -192,7 +207,12 @@ class CompiledObjective(abc.ABC):
             f"{type(self).__name__} does not support map-reduce (sharded) evaluation"
         )
 
-    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+    def merge(
+        self,
+        accumulators: Sequence[dict],
+        k: float,
+        selection: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Reduce step: fold shard accumulators into the signal vector.
 
         ``accumulators`` are :meth:`partial` outputs in shard-rank order;
@@ -202,6 +222,12 @@ class CompiledObjective(abc.ABC):
         in particular the parent process can merge what pool workers
         mapped.  ``merge([partial(indices, scores, k)], k)`` is bitwise
         identical to ``evaluate(indices, scores, k)``.
+
+        ``selection``, when given, is the precomputed boolean top-``k``
+        mask over the merged sample (the distributed top-k merge described
+        in :meth:`topk_fraction`); it must equal
+        ``selection_mask(scores, topk_fraction(k))`` bitwise.  Objectives
+        whose :meth:`topk_fraction` is ``None`` never receive one.
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not support map-reduce (sharded) evaluation"
@@ -256,7 +282,12 @@ class _CompiledTableFallback(CompiledObjective):
             "CompiledObjective.shard_fields/partial/merge"
         )
 
-    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+    def merge(
+        self,
+        accumulators: Sequence[dict],
+        k: float,
+        selection: np.ndarray | None = None,
+    ) -> np.ndarray:
         raise NotImplementedError(
             "this objective only implements the table-path evaluate(); row-sharded "
             "execution requires an array-plane compilation that overrides "
@@ -379,8 +410,13 @@ class _CompiledDisparity(CompiledObjective):
         self._matrix = matrix
 
     @staticmethod
-    def _signal(matrix: np.ndarray, scores: np.ndarray, k: float) -> np.ndarray:
-        mask = selection_mask(scores, k)
+    def _signal(
+        matrix: np.ndarray,
+        scores: np.ndarray,
+        k: float,
+        selection: np.ndarray | None = None,
+    ) -> np.ndarray:
+        mask = selection if selection is not None else selection_mask(scores, k)
         return _column_means(matrix[mask]) - _column_means(matrix)
 
     def evaluate(self, indices: np.ndarray | None, scores: np.ndarray, k: float) -> np.ndarray:
@@ -390,12 +426,22 @@ class _CompiledDisparity(CompiledObjective):
     def shard_fields(self) -> dict[str, tuple[str, int]]:
         return {"matrix": (self._matrix.dtype.str, int(self._matrix.shape[1]))}
 
+    def topk_fraction(self, k: float) -> float:
+        # merge() masks at exactly one fraction — k itself — so the sharded
+        # plane may hand it a distributed-merge selection mask.
+        return float(k)
+
     def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
         return {"scores": scores, "matrix": self._matrix[indices]}
 
-    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+    def merge(
+        self,
+        accumulators: Sequence[dict],
+        k: float,
+        selection: np.ndarray | None = None,
+    ) -> np.ndarray:
         arrays = _merged_arrays(accumulators)
-        return self._signal(arrays["matrix"], arrays["scores"], k)
+        return self._signal(arrays["matrix"], arrays["scores"], k, selection)
 
     def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
         return {"matrix": self._matrix}, {}
@@ -487,7 +533,14 @@ class _CompiledLogDiscounted(CompiledObjective):
     def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
         return {"scores": scores, "matrix": self._matrix[indices]}
 
-    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+    def merge(
+        self,
+        accumulators: Sequence[dict],
+        k: float,
+        selection: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # topk_fraction() stays None here: the reduce masks at every grid
+        # fraction, so no single distributed top-k mask applies.
         arrays = _merged_arrays(accumulators)
         return self._signal(arrays["matrix"], arrays["scores"], k)
 
@@ -693,12 +746,23 @@ class _CompiledGroupObjective(CompiledObjective):
     def shard_fields(self) -> dict[str, tuple[str, int]]:
         return {"membership": (self._membership.dtype.str, int(self._membership.shape[1]))}
 
+    def topk_fraction(self, k: float) -> float:
+        # merge() applies one selection mask at fraction k; the sharded
+        # plane may precompute it via the distributed top-k merge.
+        return float(k)
+
     def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
         return {"scores": scores, "membership": self._membership[indices]}
 
-    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+    def merge(
+        self,
+        accumulators: Sequence[dict],
+        k: float,
+        selection: np.ndarray | None = None,
+    ) -> np.ndarray:
         arrays = _merged_arrays(accumulators)
-        return self._kernel(arrays["membership"], selection_mask(arrays["scores"], k))
+        mask = selection if selection is not None else selection_mask(arrays["scores"], k)
+        return self._kernel(arrays["membership"], mask)
 
     def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
         # The kernel is a module-level function, so it travels by reference
@@ -739,11 +803,20 @@ class _CompiledFalsePositiveRate(CompiledObjective):
             "labels": self._labels[indices],
         }
 
-    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+    def topk_fraction(self, k: float) -> float:
+        # merge() applies one selection mask at fraction k; the sharded
+        # plane may precompute it via the distributed top-k merge.
+        return float(k)
+
+    def merge(
+        self,
+        accumulators: Sequence[dict],
+        k: float,
+        selection: np.ndarray | None = None,
+    ) -> np.ndarray:
         arrays = _merged_arrays(accumulators)
-        return _false_positive_rate_values(
-            arrays["membership"], arrays["labels"], selection_mask(arrays["scores"], k)
-        )
+        mask = selection if selection is not None else selection_mask(arrays["scores"], k)
+        return _false_positive_rate_values(arrays["membership"], arrays["labels"], mask)
 
     def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
         return {"membership": self._membership, "labels": self._labels}, {}
@@ -771,7 +844,14 @@ class _CompiledExposureGap(CompiledObjective):
     def partial(self, indices: np.ndarray, scores: np.ndarray, k: float) -> dict[str, np.ndarray]:
         return {"scores": scores, "membership": self._membership[indices]}
 
-    def merge(self, accumulators: Sequence[dict], k: float) -> np.ndarray:
+    def merge(
+        self,
+        accumulators: Sequence[dict],
+        k: float,
+        selection: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # topk_fraction() stays None: exposure weights every rank, so there
+        # is no top-k mask to distribute.
         arrays = _merged_arrays(accumulators)
         return _exposure_gap_values(arrays["membership"], arrays["scores"])
 

@@ -36,6 +36,7 @@ import inspect
 import sys
 from typing import Sequence
 
+from ..core.parallel import STEP_DISPATCH_MODES
 from ..matching import ENGINES, PROPOSING_SIDES
 from . import EXPERIMENT_RUNNERS
 from .harness import ExperimentResult
@@ -92,6 +93,17 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--step-dispatch",
+        choices=STEP_DISPATCH_MODES,
+        default=None,
+        dest="step_dispatch",
+        help=(
+            "how row-sharded fits hand each optimization step to the workers: "
+            "'doorbell' (persistent pool on a shared-memory doorbell, the "
+            "default) or 'pool' (per-step pool.map, the pre-scheduler path)"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         choices=ENGINES,
         default=None,
@@ -140,6 +152,7 @@ def _run_one(
     engine: str | None = None,
     proposing: str | None = None,
     row_workers: int | None = None,
+    step_dispatch: str | None = None,
 ) -> ExperimentResult:
     """Invoke a runner, forwarding only the options its signature supports.
 
@@ -157,6 +170,7 @@ def _run_one(
         "engine": engine,
         "proposing": proposing,
         "row_workers": row_workers,
+        "step_dispatch": step_dispatch,
     }
     kwargs = {
         key: value
@@ -194,6 +208,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.engine,
             args.proposing,
             args.row_workers,
+            args.step_dispatch,
         )
         _emit(result.format(), args.output)
         return 0
@@ -209,6 +224,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     args.engine,
                     args.proposing,
                     args.row_workers,
+                    args.step_dispatch,
                 ).format()
             )
         _emit("\n\n".join(outputs), args.output)

@@ -27,6 +27,7 @@ def run(
     max_workers: int | None = None,
     executor: str | None = None,
     row_workers: int | None = None,
+    step_dispatch: str | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 10a/10b/10c series."""
     setting = CompasSetting(num_defendants=num_defendants)
@@ -51,7 +52,11 @@ def run(
 
     # (a) bonus points recomputed for every k — one fit_many batch.
     per_k_fits = setting.fit_dca_sweep(
-        k_values, max_workers=max_workers, executor=executor, row_workers=row_workers
+        k_values,
+        max_workers=max_workers,
+        executor=executor,
+        row_workers=row_workers,
+        step_dispatch=step_dispatch,
     )
     fig10a_rows = []
     for k in k_values:
@@ -67,6 +72,7 @@ def run(
         max_workers=max_workers,
         executor=executor,
         row_workers=row_workers,
+        step_dispatch=step_dispatch,
     )
     fig10b_rows = []
     baseline_fpr_rows = []

@@ -24,6 +24,7 @@ def run(
     max_workers: int | None = None,
     executor: str | None = None,
     row_workers: int | None = None,
+    step_dispatch: str | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 1 series (k, nDCG@k)."""
     setting = SchoolSetting(num_students=num_students)
@@ -32,7 +33,11 @@ def run(
         description="nDCG@k on the school test cohort for varying selection fractions",
     )
     per_k = setting.fit_dca_sweep(
-        k_values, max_workers=max_workers, executor=executor, row_workers=row_workers
+        k_values,
+        max_workers=max_workers,
+        executor=executor,
+        row_workers=row_workers,
+        step_dispatch=step_dispatch,
     )
     base = setting.base_scores("test")
     rows: list[dict[str, object]] = []

@@ -41,6 +41,7 @@ def run(
     max_workers: int | None = None,
     executor: str | None = None,
     row_workers: int | None = None,
+    step_dispatch: str | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 4a/4b/4c series on the test cohort."""
     setting = SchoolSetting(num_students=num_students)
@@ -57,7 +58,11 @@ def run(
 
     # (a) k known in advance: one batched fit per k.
     per_k = setting.fit_dca_sweep(
-        k_values, max_workers=max_workers, executor=executor, row_workers=row_workers
+        k_values,
+        max_workers=max_workers,
+        executor=executor,
+        row_workers=row_workers,
+        step_dispatch=step_dispatch,
     )
     per_k_bonus = {k: per_k[float(k)].bonus for k in k_values}
     result.add_table(

@@ -28,6 +28,7 @@ def run(
     max_workers: int | None = None,
     executor: str | None = None,
     row_workers: int | None = None,
+    step_dispatch: str | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 5 series (max bonus cap vs discounted disparity)."""
     setting = SchoolSetting(num_students=num_students)
@@ -50,7 +51,11 @@ def run(
     ]
     rows: list[dict[str, object]] = []
     batch = setting.fit_dca_batch(
-        specs, max_workers=max_workers, executor=executor, row_workers=row_workers
+        specs,
+        max_workers=max_workers,
+        executor=executor,
+        row_workers=row_workers,
+        step_dispatch=step_dispatch,
     )
     for cap, fitted in zip(caps, batch):
         scores = setting.compensated_scores("test", fitted.bonus)

@@ -28,6 +28,7 @@ def run(
     max_workers: int | None = None,
     executor: str | None = None,
     row_workers: int | None = None,
+    step_dispatch: str | None = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 8a (disparity) and 8b (runtime) series."""
     setting = SchoolSetting(num_students=num_students)
@@ -51,7 +52,11 @@ def run(
         )
     ]
     fits = setting.fit_dca_batch(
-        specs, max_workers=max_workers, executor=executor, row_workers=row_workers
+        specs,
+        max_workers=max_workers,
+        executor=executor,
+        row_workers=row_workers,
+        step_dispatch=step_dispatch,
     )
 
     disparity_rows: list[dict[str, object]] = []

@@ -8,7 +8,7 @@ keeps every experiment module focused on the one thing it varies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -43,6 +43,19 @@ DEFAULT_K: float = 0.05
 DEFAULT_K_SWEEP: tuple[float, ...] = (0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5)
 
 
+def _resolve_config(config: DCAConfig, step_dispatch: str | None) -> DCAConfig:
+    """The experiment's config, with an optional step-dispatch override.
+
+    ``step_dispatch`` only matters for row-sharded fits; it rides on the
+    config (validated by :class:`repro.core.DCAConfig`) so the CLI's
+    ``--step-dispatch`` flag reaches every fit of a sweep without widening
+    each runner's signature beyond one optional string.
+    """
+    if step_dispatch is None:
+        return config
+    return replace(config, step_dispatch=step_dispatch)
+
+
 def _sweep_fits(
     default_attributes,
     score_function: ScoreFunction,
@@ -53,6 +66,7 @@ def _sweep_fits(
     max_workers: int | None,
     executor: str | None = None,
     row_workers: int | None = None,
+    step_dispatch: str | None = None,
 ) -> dict[float, DCAResult]:
     """One fit per selection fraction via ``fit_many``, keyed by ``k``.
 
@@ -60,8 +74,10 @@ def _sweep_fits(
     in which score function / attribute set they default to.  ``executor``
     selects the :meth:`repro.core.DCA.fit_many` backend (``"serial"``,
     ``"thread"``, or the shared-memory ``"process"`` pool); ``row_workers``
-    additionally row-shards each fit (see :meth:`repro.core.DCA.fit`).
+    additionally row-shards each fit (see :meth:`repro.core.DCA.fit`), and
+    ``step_dispatch`` picks how sharded steps reach the workers.
     """
+    config = _resolve_config(config, step_dispatch)
     ks = tuple(float(k) for k in ks)  # materialize once: ks may be a generator
     if not ks:
         raise ValueError("at least one selection fraction is required")
@@ -110,6 +126,7 @@ class SchoolSetting:
         objective: FairnessObjective | None = None,
         config: DCAConfig | None = None,
         row_workers: int | None = None,
+        step_dispatch: str | None = None,
     ):
         """Fit DCA on the training cohort at selection fraction ``k``.
 
@@ -117,7 +134,8 @@ class SchoolSetting:
         (e.g. the binary-only attributes used by the disparate-impact and
         exposure experiments), the bonus vector is fitted over exactly those
         attributes.  ``row_workers`` row-shards the single fit across
-        shared-memory workers (see :meth:`repro.core.DCA.fit`).
+        shared-memory workers (see :meth:`repro.core.DCA.fit`), and
+        ``step_dispatch`` picks how sharded steps reach them.
         """
         attributes = objective.attribute_names if objective is not None else self.fairness_attributes
         dca = DCA(
@@ -125,7 +143,7 @@ class SchoolSetting:
             self.rubric,
             k=k,
             objective=objective,
-            config=config or self.dca_config,
+            config=_resolve_config(config or self.dca_config, step_dispatch),
         )
         return dca.fit(self.train.table, row_workers=row_workers)
 
@@ -137,6 +155,7 @@ class SchoolSetting:
         max_workers: int | None = None,
         executor: str | None = None,
         row_workers: int | None = None,
+        step_dispatch: str | None = None,
     ) -> dict[float, DCAResult]:
         """Fit one bonus vector per selection fraction in ``ks`` in a single batch.
 
@@ -156,6 +175,7 @@ class SchoolSetting:
             max_workers,
             executor,
             row_workers,
+            step_dispatch,
         )
 
     def fit_dca_batch(
@@ -164,13 +184,19 @@ class SchoolSetting:
         max_workers: int | None = None,
         executor: str | None = None,
         row_workers: int | None = None,
+        step_dispatch: str | None = None,
     ) -> list[BatchFitResult]:
         """Run a heterogeneous batch of DCA fits (the ablation workloads).
 
         ``executor`` selects the :meth:`repro.core.DCA.fit_many` backend;
         ``row_workers`` row-shards each individual fit.
         """
-        dca = DCA(self.fairness_attributes, self.rubric, k=DEFAULT_K, config=self.dca_config)
+        dca = DCA(
+            self.fairness_attributes,
+            self.rubric,
+            k=DEFAULT_K,
+            config=_resolve_config(self.dca_config, step_dispatch),
+        )
         return dca.fit_many(
             self.train.table,
             specs=specs,
@@ -222,6 +248,7 @@ class CompasSetting:
         objective: FairnessObjective | None = None,
         config: DCAConfig | None = None,
         row_workers: int | None = None,
+        step_dispatch: str | None = None,
     ):
         attributes = objective.attribute_names if objective is not None else self.race_attributes
         dca = DCA(
@@ -229,7 +256,7 @@ class CompasSetting:
             self.ranking_function,
             k=k,
             objective=objective,
-            config=config or self.dca_config,
+            config=_resolve_config(config or self.dca_config, step_dispatch),
         )
         return dca.fit(self.table, row_workers=row_workers)
 
@@ -241,6 +268,7 @@ class CompasSetting:
         max_workers: int | None = None,
         executor: str | None = None,
         row_workers: int | None = None,
+        step_dispatch: str | None = None,
     ) -> dict[float, DCAResult]:
         """Fit one bonus vector per selection fraction in ``ks`` in a single batch.
 
@@ -259,6 +287,7 @@ class CompasSetting:
             max_workers,
             executor,
             row_workers,
+            step_dispatch,
         )
 
     def fit_dca_batch(
@@ -267,13 +296,19 @@ class CompasSetting:
         max_workers: int | None = None,
         executor: str | None = None,
         row_workers: int | None = None,
+        step_dispatch: str | None = None,
     ) -> list[BatchFitResult]:
         """Run a heterogeneous batch of DCA fits against the release ranking.
 
         ``executor`` selects the :meth:`repro.core.DCA.fit_many` backend;
         ``row_workers`` row-shards each individual fit.
         """
-        dca = DCA(self.race_attributes, self.ranking_function, k=DEFAULT_K, config=self.dca_config)
+        dca = DCA(
+            self.race_attributes,
+            self.ranking_function,
+            k=DEFAULT_K,
+            config=_resolve_config(self.dca_config, step_dispatch),
+        )
         return dca.fit_many(
             self.table,
             specs=specs,

@@ -1,0 +1,34 @@
+"""Known-bad scheduler fixture: RNG minting and an untainted top-k write.
+
+The same doorbell loop shape as ``scheduler_good.py``, with the two
+violations the scheduler rules exist to catch: the step kernel mints its
+own generator (even seeded, workers must never own RNG state — R5 on the
+worker path), and it scatters into the scratch at a position that never
+came from the shard descriptor (R6).
+"""
+
+import numpy as np
+
+
+def _scheduler_worker_loop(worker_id, num_workers, state, start_barrier, done_barrier):
+    while True:
+        start_barrier.wait()
+        if int(state.command[0]) == 0:
+            return
+        bonus_values = state.bonus.copy()
+        num_sampled = int(state.command[1])
+        for shard in range(worker_id, len(state.bounds), num_workers):
+            state.served[shard] = _shard_worker_serve(
+                state, shard, bonus_values, num_sampled
+            )
+        done_barrier.wait()
+
+
+def _shard_worker_serve(state, shard, bonus_values, num_sampled):
+    lo, hi = state.bounds[shard]
+    positions = shard_sample_positions(state.indices[:num_sampled], lo, hi)
+    rng = np.random.default_rng(shard)  # LINT-EXPECT: R5
+    jitter = int(rng.integers(0, num_sampled))
+    state.scratch[positions] = bonus_values[positions]
+    state.scratch[jitter] = 1.0  # LINT-EXPECT: R6
+    return positions.shape[0]

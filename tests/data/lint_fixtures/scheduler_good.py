@@ -1,0 +1,35 @@
+"""Known-good scheduler fixture: the doorbell worker loop, R5/R6-clean.
+
+Mirrors the real :func:`repro.core.scheduler._scheduler_worker_loop` shape:
+a long-lived loop that blocks on a barrier, reads the step command out of
+the control block, and serves its strided shards through the shared step
+kernel.  Every write is indexed through the worker's own shard descriptor
+(or its private ledger row), and no RNG state is minted anywhere on the
+worker path — the parent owns the fit's one sample stream.
+"""
+
+
+def _scheduler_worker_loop(worker_id, num_workers, state, start_barrier, done_barrier):
+    while True:
+        start_barrier.wait()
+        command = int(state.command[0])
+        if command == 0:
+            return
+        bonus_values = state.bonus.copy()
+        num_sampled = int(state.command[1])
+        for shard in range(worker_id, len(state.bounds), num_workers):
+            state.served[shard] = _shard_worker_serve(
+                state, shard, bonus_values, num_sampled
+            )
+        done_barrier.wait()
+
+
+def _shard_worker_serve(state, shard, bonus_values, num_sampled):
+    lo, hi = state.bounds[shard]
+    positions = shard_sample_positions(state.indices[:num_sampled], lo, hi)
+    local = bonus_values[positions]
+    state.scratch[positions] = local
+    scatter_fields(state.scratch, positions, local)
+    state.topk[1][shard, : positions.shape[0]] = positions
+    state.topk[2][shard] = positions.shape[0]
+    return positions.shape[0]

@@ -30,6 +30,7 @@ from repro.core import (
     FalsePositiveRateObjective,
     FitSpec,
     LogDiscountedDisparityObjective,
+    PlaneCache,
     SampleStream,
     SharedColumnStore,
 )
@@ -277,6 +278,174 @@ class TestComposition:
             _assert_fit_identical(left.result, right.result)
 
 
+class TestSchedulerEdgeCases:
+    """Degenerate shard geometries must neither deadlock nor drift (satellite).
+
+    The doorbell scheduler sizes its pool as ``min(row_workers,
+    num_shards)`` and its barriers as ``workers + 1`` parties, so the
+    degenerate geometries — one giant shard, or more workers than shards —
+    must collapse to small pools that still complete every step.
+    """
+
+    def test_single_shard_covers_population(self, school_train, rubric, school_attributes):
+        """shard_rows >= num_rows: one shard, one worker, still bitwise."""
+        num_rows = school_train.table.num_rows
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        serial = dca.fit(school_train.table)
+        sharded = dca.fit(
+            school_train.table, row_workers=4, shard_rows=num_rows + 1000
+        )
+        _assert_fit_identical(serial, sharded)
+
+    def test_more_workers_than_shards(self, school_train, rubric, school_attributes):
+        """row_workers > num_shards: the pool shrinks to the shard count."""
+        num_rows = school_train.table.num_rows
+        shard_rows = (num_rows + 1) // 2  # exactly two shards
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        serial = dca.fit(school_train.table)
+        sharded = dca.fit(school_train.table, row_workers=8, shard_rows=shard_rows)
+        _assert_fit_identical(serial, sharded)
+
+    def test_scheduler_pool_sized_to_shards(self, school_train, rubric, school_attributes):
+        """The degenerate pool really is degenerate: one shard -> one worker."""
+        from repro.core.dca import _BonusSearch
+
+        num_rows = school_train.table.num_rows
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        dca.objective.fit(school_train.table)
+        search = _BonusSearch(school_train.table, rubric, dca.objective, 0.05, FAST)
+        plane, owned = dca._build_sharded_plane(search, 4, num_rows + 1)
+        assert owned
+        try:
+            assert plane.num_shards == 1
+            assert len(plane.worker_pids()) == 1
+        finally:
+            plane.close()
+
+
+class TestStepDispatchModes:
+    """The doorbell scheduler and the legacy pool.map dispatch agree bitwise."""
+
+    def test_default_dispatch_is_doorbell(self):
+        assert DCAConfig().step_dispatch == "doorbell"
+
+    def test_invalid_dispatch_rejected(self):
+        with pytest.raises(ValueError, match="step_dispatch"):
+            DCAConfig(step_dispatch="mailbox").validate()
+
+    def test_pool_dispatch_matches_doorbell(self, school_train, rubric, school_attributes):
+        doorbell = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        pool = DCA(
+            school_attributes, rubric, k=0.05, config=replace(FAST, step_dispatch="pool")
+        )
+        left = doorbell.fit(school_train.table, row_workers=2)
+        right = pool.fit(school_train.table, row_workers=2)
+        _assert_fit_identical(left, right)
+
+    def test_pool_dispatch_matches_serial(self, school_train, rubric, school_attributes):
+        config = replace(FAST, step_dispatch="pool")
+        dca = DCA(school_attributes, rubric, k=0.05, config=config)
+        serial = dca.fit(school_train.table)
+        sharded = dca.fit(school_train.table, row_workers=2)
+        _assert_fit_identical(serial, sharded)
+
+
+class TestPlaneCache:
+    """Cross-job plane + pool reuse in fit_many (tentpole acceptance)."""
+
+    def test_fit_many_builds_one_plane(self, school_train, rubric, school_attributes):
+        """Same-signature jobs lease one plane: 1 built, N-1 cache hits."""
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        cache = PlaneCache()
+        try:
+            batch = dca.fit_many(
+                school_train.table, seeds=(1, 2, 3), row_workers=2, plane_cache=cache
+            )
+            assert len(batch) == 3
+            assert cache.planes_built == 1
+            assert cache.hits == 2
+            assert len(cache) == 1
+        finally:
+            cache.close()
+
+    def test_pool_identity_across_fit_many_calls(
+        self, school_train, rubric, school_attributes
+    ):
+        """A caller-owned cache keeps one resident pool across batches."""
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        cache = PlaneCache()
+        try:
+            first = dca.fit_many(
+                school_train.table, seeds=(1, 2), row_workers=2, plane_cache=cache
+            )
+            (entry,) = cache._populations.values()
+            ((_function, plane),) = entry[1].values()
+            pids = plane.worker_pids()
+            assert len(pids) == 2
+            second = dca.fit_many(
+                school_train.table, seeds=(1, 2), row_workers=2, plane_cache=cache
+            )
+            assert cache.planes_built == 1  # no new plane, no new pool
+            assert plane.worker_pids() == pids
+            for left, right in zip(first, second):
+                _assert_fit_identical(left.result, right.result)
+        finally:
+            cache.close()
+
+    def test_cached_fits_stay_bitwise_identical(
+        self, school_train, rubric, school_attributes
+    ):
+        """Reusing a leased plane must not perturb results vs fresh planes."""
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        fresh = dca.fit_many(school_train.table, seeds=(1, 2, 3))
+        cache = PlaneCache()
+        try:
+            cached = dca.fit_many(
+                school_train.table, seeds=(1, 2, 3), row_workers=2, plane_cache=cache
+            )
+        finally:
+            cache.close()
+        for left, right in zip(fresh, cached):
+            _assert_fit_identical(left.result, right.result)
+
+    def test_distinct_keys_build_distinct_planes(
+        self, school_train, rubric, school_attributes
+    ):
+        """Different k (hence sample geometry) cannot share a plane."""
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        cache = PlaneCache()
+        try:
+            dca.fit_many(
+                school_train.table, ks=(0.05, 0.1), row_workers=2, plane_cache=cache
+            )
+            assert cache.planes_built == 2
+            assert cache.hits == 0
+        finally:
+            cache.close()
+
+    def test_internal_cache_closed_with_the_call(
+        self, school_train, rubric, school_attributes
+    ):
+        """Without a caller cache, fit_many owns (and closes) its own."""
+        import multiprocessing
+
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        before = {child.pid for child in multiprocessing.active_children()}
+        dca.fit_many(school_train.table, seeds=(1, 2), row_workers=2)
+        survivors = {
+            child.pid for child in multiprocessing.active_children()
+        } - before
+        assert not survivors  # the internal cache tore the pool down
+
+    def test_plane_cache_close_is_idempotent(self, school_train, rubric, school_attributes):
+        dca = DCA(school_attributes, rubric, k=0.05, config=FAST)
+        cache = PlaneCache()
+        dca.fit_many(school_train.table, seeds=(1,), row_workers=2, plane_cache=cache)
+        cache.close()
+        cache.close()
+        assert len(cache) == 0
+
+
 class TestRngBatching:
     """The opt-in per-phase RNG batching mode (satellite)."""
 
@@ -380,9 +549,19 @@ class TestEagerValidation:
             ["run", "fig4", "--workers", "0"],
             ["run", "fig4", "--row-workers", "-1"],
             ["run", "fig4", "--row-workers", "two"],
+            ["run", "fig4", "--step-dispatch", "mailbox"],
         ):
             with pytest.raises(SystemExit):
                 parser.parse_args(argv)
+
+    def test_cli_accepts_step_dispatch_modes(self):
+        from repro.experiments.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["run", "fig4"]).step_dispatch is None
+        for mode in ("doorbell", "pool"):
+            args = parser.parse_args(["run", "fig4", "--step-dispatch", mode])
+            assert args.step_dispatch == mode
 
 
 # ----------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.analysis.race_sanitizer import (
     record_shard_write,
     reset_step,
     verify_step,
+    verify_topk,
 )
 from repro.core import DCA, DCAConfig
 from repro.ranking import ColumnScore
@@ -89,6 +90,66 @@ class TestLedger:
         record_shard_write(positions, counts, 1, np.array([2, 3]))
         with pytest.raises(WriteRaceError, match="outside the sample"):
             verify_step(positions, counts, 4, BOUNDS)
+
+
+class TestTopkLedger:
+    """verify_topk: the distributed top-k region checked against the ledger."""
+
+    def _step(self):
+        """A verified two-shard step: shard 0 wrote {0,1,2}, shard 1 {3,4}."""
+        positions, counts = _ledger(sample_size=8)
+        record_shard_write(positions, counts, 0, np.array([0, 1, 2]))
+        record_shard_write(positions, counts, 1, np.array([3, 4]))
+        verify_step(positions, counts, 5, BOUNDS)
+        topk_positions = np.zeros((2, 8), dtype=np.int64)
+        topk_counts = np.zeros(2, dtype=np.int64)
+        return positions, counts, topk_positions, topk_counts
+
+    def test_consistent_candidates_verify(self):
+        positions, counts, topk_positions, topk_counts = self._step()
+        topk_positions[0, :2] = [0, 2]
+        topk_counts[0] = 2
+        topk_positions[1, :2] = [3, 4]
+        topk_counts[1] = 2
+        verify_topk(positions, counts, topk_positions, topk_counts, limit=2)
+
+    def test_limit_caps_small_shards(self):
+        """A shard with fewer rows than the limit publishes all of them."""
+        positions, counts, topk_positions, topk_counts = self._step()
+        topk_positions[0, :3] = [0, 1, 2]
+        topk_counts[0] = 3
+        topk_positions[1, :2] = [3, 4]
+        topk_counts[1] = 2  # only scattered 2 rows, under limit 3
+        verify_topk(positions, counts, topk_positions, topk_counts, limit=3)
+
+    def test_stale_count_raises(self):
+        """A count from a previous step (too many candidates) must die."""
+        positions, counts, topk_positions, topk_counts = self._step()
+        topk_positions[0, :2] = [0, 1]
+        topk_counts[0] = 2
+        topk_positions[1, :2] = [3, 4]
+        topk_counts[1] = 2  # limit is 1: one candidate expected
+        with pytest.raises(WriteRaceError, match="stale or truncated"):
+            verify_topk(positions, counts, topk_positions, topk_counts, limit=1)
+
+    def test_unreset_sentinel_raises(self):
+        """A shard that never published (count still -1) must die."""
+        positions, counts, topk_positions, topk_counts = self._step()
+        topk_positions[0, :2] = [0, 1]
+        topk_counts[0] = 2
+        topk_counts[1] = -1  # parent reset, worker never wrote
+        with pytest.raises(WriteRaceError, match="shard 1 published -1"):
+            verify_topk(positions, counts, topk_positions, topk_counts, limit=2)
+
+    def test_foreign_candidate_raises(self):
+        """A candidate at a position the shard never scattered must die."""
+        positions, counts, topk_positions, topk_counts = self._step()
+        topk_positions[0, :2] = [0, 4]  # position 4 belongs to shard 1
+        topk_counts[0] = 2
+        topk_positions[1, :2] = [3, 4]
+        topk_counts[1] = 2
+        with pytest.raises(WriteRaceError, match=r"shard 0 .* \[4\] .* never scattered"):
+            verify_topk(positions, counts, topk_positions, topk_counts, limit=2)
 
 
 # ----------------------------------------------------------------------
